@@ -1,0 +1,13 @@
+"""Figure 6 — enumeration time of ADCEnum vs SearchMC (f1, epsilon = 0.1)."""
+
+from conftest import report
+
+from repro.experiments import figure6_enum_vs_searchmc
+
+
+def test_figure6_adcenum_vs_searchmc(benchmark, config):
+    rows = benchmark.pedantic(figure6_enum_vs_searchmc, args=(config,), iterations=1, rounds=1)
+    report("Figure 6: ADCEnum vs SearchMC enumeration time (seconds)", rows)
+    assert len(rows) == len(config.datasets)
+    # Both enumerators must agree on the discovered constraints.
+    assert all(row["adcenum_dcs"] == row["searchmc_dcs"] for row in rows)

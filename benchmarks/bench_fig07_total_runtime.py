@@ -1,0 +1,17 @@
+"""Figure 7 — total pipeline time: ADCMiner vs DCFinder vs AFASTDC."""
+
+from conftest import report
+
+from repro.experiments import figure7_total_runtime
+
+
+def test_figure7_total_pipeline_runtime(benchmark, config):
+    # The AFASTDC pipeline uses the quadratic pairwise evidence builder, so
+    # the figure is reproduced on a reduced scale.
+    scaled = config.scaled(0.6)
+    rows = benchmark.pedantic(figure7_total_runtime, args=(scaled,), iterations=1, rounds=1)
+    report("Figure 7: total running time of the three pipelines (seconds)", rows)
+    assert len(rows) == len(scaled.datasets)
+    # The paper's headline: the naive AFASTDC evidence construction dominates.
+    slower = sum(1 for row in rows if row["afastdc_seconds"] >= row["adcminer_seconds"])
+    assert slower >= len(rows) // 2

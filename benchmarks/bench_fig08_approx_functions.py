@@ -1,0 +1,16 @@
+"""Figure 8 — ADCMiner running time per approximation function (f1/f2/f3)."""
+
+from conftest import report
+
+from repro.experiments import figure8_approx_functions
+
+
+def test_figure8_runtime_per_function(benchmark, config):
+    rows = benchmark.pedantic(figure8_approx_functions, args=(config,), iterations=1, rounds=1)
+    report(
+        "Figure 8: ADCMiner time per approximation function "
+        "(total / enumeration / evidence seconds)",
+        rows,
+    )
+    assert len(rows) == len(config.datasets) * 3
+    assert {row["function"] for row in rows} == {"f1", "f2", "f3"}

@@ -1,0 +1,15 @@
+"""Figure 9 — ADCEnum vs SearchMC enumeration time for varying sample sizes."""
+
+from conftest import report
+
+from repro.experiments import figure9_sample_sizes
+
+
+def test_figure9_enumeration_time_vs_sample_size(benchmark, config):
+    # The full figure sweeps all eight datasets; the benchmark uses four
+    # representative ones to keep the suite's wall-clock time reasonable.
+    restricted = config.restricted(("tax", "stock", "hospital", "adult"))
+    rows = benchmark.pedantic(figure9_sample_sizes, args=(restricted,), iterations=1, rounds=1)
+    report("Figure 9: enumeration time (seconds) for varying sample sizes", rows)
+    assert {row["dataset"] for row in rows} == set(restricted.datasets)
+    assert {row["sample"] for row in rows} == {0.2, 0.4, 0.6, 0.8, 1.0}

@@ -1,0 +1,14 @@
+"""Figure 10 — evidence selection: maximal vs minimal candidate intersection."""
+
+from conftest import report
+
+from repro.experiments import figure10_selection_strategy
+
+
+def test_figure10_selection_strategy(benchmark, config):
+    rows = benchmark.pedantic(figure10_selection_strategy, args=(config,), iterations=1, rounds=1)
+    report(
+        "Figure 10: ADCEnum with max- vs min-intersection evidence selection (seconds)",
+        rows,
+    )
+    assert {row["function"] for row in rows} == {"f1", "f2", "f3"}

@@ -1,0 +1,25 @@
+"""Figure 11 — F1 of sample-mined ADCs against full-data ADCs."""
+
+from conftest import report
+
+from repro.experiments import figure11_sampling_quality
+
+
+def test_figure11_sampling_quality(benchmark, config):
+    # The figure sweeps all eight datasets and three functions; the benchmark
+    # reproduces the shape on three representative datasets to keep the
+    # number of mining runs manageable.
+    restricted = config.restricted(("tax", "hospital", "adult"))
+    rows = benchmark.pedantic(
+        figure11_sampling_quality,
+        args=(restricted,),
+        kwargs={"sample_fractions": (0.2, 0.3, 0.4), "thresholds": (0.05, 0.1, 0.2)},
+        iterations=1,
+        rounds=1,
+    )
+    report("Figure 11: F1 score of sample-mined ADCs vs full-data ADCs", rows)
+    # Larger samples should not hurt quality on average.
+    sample_rows = [row for row in rows if row["sweep"] == "sample"]
+    small = [row["f1_score"] for row in sample_rows if row["sample"] == 0.2]
+    large = [row["f1_score"] for row in sample_rows if row["sample"] == 0.4]
+    assert sum(large) / len(large) >= sum(small) / len(small) - 0.1

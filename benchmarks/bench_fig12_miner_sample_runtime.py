@@ -1,0 +1,19 @@
+"""Figure 12 — total ADCMiner running time for varying sample sizes."""
+
+from conftest import report
+
+from repro.experiments import figure12_miner_sample_sizes
+
+
+def test_figure12_total_time_vs_sample_size(benchmark, config):
+    restricted = config.restricted(("tax", "stock", "flight", "voter"))
+    rows = benchmark.pedantic(
+        figure12_miner_sample_sizes, args=(restricted,), iterations=1, rounds=1
+    )
+    report("Figure 12: ADCMiner total time (seconds) for varying sample sizes", rows)
+    # Sampling must pay off: the smallest sample should be faster than the
+    # full run for every dataset (the paper reports reductions up to 95%).
+    by_dataset = {}
+    for row in rows:
+        by_dataset.setdefault(row["dataset"], {})[row["sample"]] = row["total_seconds"]
+    assert all(times[0.2] <= times[1.0] for times in by_dataset.values())

@@ -1,0 +1,12 @@
+"""Figure 13 — average (epsilon - p_hat) over discovered ADCs per sample size."""
+
+from conftest import report
+
+from repro.experiments import figure13_estimator_gap
+
+
+def test_figure13_epsilon_minus_phat(benchmark, config):
+    restricted = config.restricted(("tax", "stock", "hospital", "voter"))
+    rows = benchmark.pedantic(figure13_estimator_gap, args=(restricted,), iterations=1, rounds=1)
+    report("Figure 13: average epsilon - p_hat over discovered ADCs", rows)
+    assert all(0.0 <= row["avg_epsilon_minus_phat"] <= restricted.epsilon for row in rows)

@@ -1,0 +1,32 @@
+"""Figure 14 — G-recall vs threshold under f1/f2/f3, spread vs concentrated noise."""
+
+from conftest import report
+
+from repro.experiments import figure14_grecall
+from repro.experiments.qualitative import figure14_valid_dc_grecall
+
+
+def test_figure14_grecall(benchmark, config):
+    restricted = config.restricted(("tax", "stock", "food"))
+    rows = benchmark.pedantic(
+        figure14_grecall,
+        args=(restricted,),
+        kwargs={"thresholds": (1e-5, 1e-4, 1e-2, 1e-1)},
+        iterations=1,
+        rounds=1,
+    )
+    report("Figure 14: G-recall for varying thresholds, per function and noise model", rows)
+    # Approximate discovery must recover golden DCs somewhere in the sweep.
+    best = max(row["g_recall"] for row in rows)
+    assert best > 0.5
+
+
+def test_figure14_valid_dc_grecall(benchmark, config):
+    restricted = config.restricted(("tax", "stock", "food"))
+    rows = benchmark.pedantic(
+        figure14_valid_dc_grecall, args=(restricted,), iterations=1, rounds=1
+    )
+    report("Figure 14 (parenthesised): G-recall of valid DCs (epsilon = 0)", rows)
+    # The paper's observation: exact discovery on dirty data recovers (close
+    # to) none of the golden DCs.
+    assert all(row["g_recall_valid"] <= 0.5 for row in rows)

@@ -1,0 +1,12 @@
+"""Table 4 — dataset statistics (#tuples, #attributes, #golden DCs)."""
+
+from conftest import report
+
+from repro.experiments import table4_statistics
+
+
+def test_table4_dataset_statistics(benchmark, config):
+    rows = benchmark(table4_statistics, config)
+    report("Table 4: datasets (scaled-down synthetic stand-ins)", rows)
+    assert len(rows) == len(config.datasets)
+    assert all(row["golden_dcs"] > 0 for row in rows)

@@ -1,0 +1,12 @@
+"""Table 5 — approximate DCs vs the valid DCs found on the same dirty data."""
+
+from conftest import report
+
+from repro.experiments import table5_qualitative
+
+
+def test_table5_approximate_vs_valid(benchmark, config):
+    restricted = config.restricted(("tax", "stock", "food", "flight"))
+    rows = benchmark.pedantic(table5_qualitative, args=(restricted,), iterations=1, rounds=1)
+    report("Table 5: approximate DC (recovered golden rule) vs valid DC on dirty data", rows)
+    assert rows, "expected at least one recovered golden DC"

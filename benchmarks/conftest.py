@@ -1,0 +1,31 @@
+"""Shared fixtures and helpers of the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper: it runs the
+corresponding experiment function once inside ``pytest-benchmark`` and prints
+the resulting rows, so ``pytest benchmarks/ --benchmark-only`` both times the
+harness and reproduces the numbers.
+
+The scale of the whole suite can be adjusted with the ``REPRO_SCALE``
+environment variable (e.g. ``REPRO_SCALE=0.5`` halves every dataset).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.reporting import format_table
+from repro.experiments.config import default_config
+
+
+@pytest.fixture(scope="session")
+def config():
+    """The benchmark experiment configuration."""
+    return default_config()
+
+
+def report(title: str, rows: list[dict[str, object]], columns: list[str] | None = None) -> None:
+    """Print one reproduced table/figure under a clear banner."""
+    print()
+    print("=" * 78)
+    print(format_table(rows, columns, title=title))
+    print("=" * 78)

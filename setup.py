@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+Metadata lives in ``pyproject.toml``; this shim exists so that editable
+installs (``pip install -e .``) work in offline environments whose
+setuptools cannot build PEP 660 editable wheels.
+"""
+
+from setuptools import setup
+
+setup()

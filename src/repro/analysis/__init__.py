@@ -1,0 +1,22 @@
+"""Evaluation metrics and reporting helpers."""
+
+from repro.analysis.metrics import (
+    DCSetComparison,
+    compare_dc_sets,
+    dataset_statistics,
+    f1_score,
+    g_recall,
+    precision_recall_f1,
+)
+from repro.analysis.reporting import format_series, format_table
+
+__all__ = [
+    "DCSetComparison",
+    "compare_dc_sets",
+    "precision_recall_f1",
+    "f1_score",
+    "g_recall",
+    "dataset_statistics",
+    "format_table",
+    "format_series",
+]

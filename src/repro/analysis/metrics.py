@@ -1,0 +1,129 @@
+"""Quality metrics for discovered denial constraints.
+
+Two families of metrics are used in the paper's evaluation:
+
+* **F1 against a reference run** (Figure 11): the ADCs mined from a sample
+  are compared with the ADCs mined from the full dataset; precision, recall
+  and their harmonic mean are computed over normalised predicate sets.
+* **G-recall against golden DCs** (Figure 14): the fraction of expert-curated
+  golden DCs recovered by a discovery run.  A golden DC counts as recovered
+  when some discovered constraint is at least as general as it, i.e. its
+  normalised predicate set is a subset of the golden DC's.
+
+The module also provides the dataset statistics of Table 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.dc import DenialConstraint
+from repro.data.datasets import Dataset
+
+
+def _normalised_sets(constraints: Iterable[DenialConstraint]) -> set[frozenset]:
+    """Normalised predicate sets of a DC collection (redundancy removed)."""
+    return {constraint.normalized().predicates for constraint in constraints}
+
+
+@dataclass(frozen=True)
+class DCSetComparison:
+    """Precision / recall / F1 of a discovered DC set against a reference."""
+
+    n_discovered: int
+    n_reference: int
+    n_common: int
+
+    @property
+    def precision(self) -> float:
+        """Fraction of discovered DCs present in the reference set."""
+        return self.n_common / self.n_discovered if self.n_discovered else 0.0
+
+    @property
+    def recall(self) -> float:
+        """Fraction of reference DCs present in the discovered set."""
+        return self.n_common / self.n_reference if self.n_reference else 0.0
+
+    @property
+    def f1(self) -> float:
+        """Harmonic mean of precision and recall."""
+        if self.precision + self.recall == 0:
+            return 0.0
+        return 2.0 * self.precision * self.recall / (self.precision + self.recall)
+
+
+def compare_dc_sets(
+    discovered: Iterable[DenialConstraint],
+    reference: Iterable[DenialConstraint],
+) -> DCSetComparison:
+    """Compare two DC sets by exact (normalised) predicate-set equality."""
+    discovered_sets = _normalised_sets(discovered)
+    reference_sets = _normalised_sets(reference)
+    return DCSetComparison(
+        n_discovered=len(discovered_sets),
+        n_reference=len(reference_sets),
+        n_common=len(discovered_sets & reference_sets),
+    )
+
+
+def precision_recall_f1(
+    discovered: Iterable[DenialConstraint],
+    reference: Iterable[DenialConstraint],
+) -> tuple[float, float, float]:
+    """Precision, recall and F1 of ``discovered`` against ``reference``."""
+    comparison = compare_dc_sets(discovered, reference)
+    return comparison.precision, comparison.recall, comparison.f1
+
+
+def f1_score(
+    discovered: Iterable[DenialConstraint],
+    reference: Iterable[DenialConstraint],
+) -> float:
+    """F1 of ``discovered`` against ``reference`` (the Figure 11 measure)."""
+    return compare_dc_sets(discovered, reference).f1
+
+
+def g_recall(
+    discovered: Iterable[DenialConstraint],
+    golden: Sequence[DenialConstraint],
+) -> float:
+    """Fraction of golden DCs recovered by the discovery run (Figure 14).
+
+    A golden DC is recovered when a discovered DC's normalised predicate set
+    is a (non-strict) subset of the golden DC's — the discovered rule is at
+    least as general as the expert rule.
+    """
+    if not golden:
+        return 0.0
+    discovered_sets = _normalised_sets(discovered)
+    recovered = 0
+    for golden_dc in golden:
+        golden_predicates = golden_dc.normalized().predicates
+        if any(candidate <= golden_predicates for candidate in discovered_sets):
+            recovered += 1
+    return recovered / len(golden)
+
+
+def recovered_golden(
+    discovered: Iterable[DenialConstraint],
+    golden: Sequence[DenialConstraint],
+) -> list[DenialConstraint]:
+    """The golden DCs matched by the discovery run (for qualitative tables)."""
+    discovered_sets = _normalised_sets(discovered)
+    matched = []
+    for golden_dc in golden:
+        golden_predicates = golden_dc.normalized().predicates
+        if any(candidate <= golden_predicates for candidate in discovered_sets):
+            matched.append(golden_dc)
+    return matched
+
+
+def dataset_statistics(dataset: Dataset) -> dict[str, object]:
+    """The Table 4 row of one dataset."""
+    return {
+        "dataset": dataset.name,
+        "tuples": dataset.n_rows,
+        "attributes": dataset.n_columns,
+        "golden_dcs": dataset.n_golden,
+    }

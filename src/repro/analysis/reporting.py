@@ -1,0 +1,63 @@
+"""Plain-text rendering of experiment results.
+
+The benchmark harness reproduces the paper's tables and figure series as
+text; these helpers keep the formatting consistent across all benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+    float_format: str = "{:.4f}",
+) -> str:
+    """Render a list of row dicts as an aligned text table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    columns = list(columns) if columns is not None else list(rows[0])
+
+    def render(value: object) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    rendered = [[render(row.get(column, "")) for column in columns] for row in rows]
+    widths = [
+        max(len(column), *(len(line[position]) for line in rendered))
+        for position, column in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(column.ljust(width) for column, width in zip(columns, widths))
+    lines.append(header)
+    lines.append("  ".join("-" * width for width in widths))
+    for line in rendered:
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(line, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    series: Mapping[str, Mapping[object, float]],
+    x_label: str = "x",
+    title: str | None = None,
+    float_format: str = "{:.4f}",
+) -> str:
+    """Render named series (figure curves) as a text table.
+
+    ``series`` maps a curve name to ``{x value: y value}``; the x values of
+    all curves are merged and sorted to form the rows.
+    """
+    x_values: list[object] = sorted({x for curve in series.values() for x in curve})
+    rows = []
+    for x in x_values:
+        row: dict[str, object] = {x_label: x}
+        for name, curve in series.items():
+            if x in curve:
+                row[name] = curve[x]
+        rows.append(row)
+    return format_table(rows, [x_label, *series.keys()], title=title, float_format=float_format)

@@ -1,0 +1,20 @@
+"""Baseline algorithms the paper compares against.
+
+* :mod:`repro.baselines.fastdc` — ``SearchMC``, the SearchMinimalCovers DFS
+  of FASTDC [11] with the AFASTDC approximate base case; this is the
+  enumeration baseline of Figures 6 and 9.
+* :mod:`repro.baselines.pairwise` — the naive quadratic evidence-set
+  construction of AFASTDC, used as the slow evidence baseline of Figures 7
+  and 8 (the fast builder plays the DCFinder role).
+"""
+
+from repro.baselines.fastdc import SearchMC, search_minimal_covers
+from repro.baselines.pairwise import PairwiseEvidenceBuilder, afastdc_mine, dcfinder_mine
+
+__all__ = [
+    "SearchMC",
+    "search_minimal_covers",
+    "PairwiseEvidenceBuilder",
+    "afastdc_mine",
+    "dcfinder_mine",
+]

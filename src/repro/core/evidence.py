@@ -1,0 +1,238 @@
+"""The evidence set.
+
+For every ordered pair of distinct tuples ``(t, t')`` the *evidence*
+``Sat(t, t')`` is the set of predicates of the predicate space satisfied by
+the pair; the *evidence set* ``Evi(D)`` is the bag of all evidences
+(Section 3).  As in the paper, evidences are stored once with a
+multiplicity, because only the distinct evidences and their counts matter to
+the enumeration algorithm.
+
+Each evidence is represented as a Python integer bitmask over predicate
+indices of the :class:`~repro.core.predicate_space.PredicateSpace`, which
+makes intersection tests (the inner loop of the enumerators) single ``&``
+operations.
+
+The class also stores the ``vios`` structure of Figure 2: for every distinct
+evidence, the tuples participating in pairs with that evidence and how many
+such pairs each tuple participates in.  This is what the tuple-based
+approximation functions (f2 and the greedy replacement of f3) consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.core.predicate_space import PredicateSpace, iter_bits
+from repro.core.predicates import Predicate
+
+
+@dataclass(frozen=True)
+class TupleParticipation:
+    """Tuples participating in pairs carrying one evidence.
+
+    ``tuple_ids[k]`` participates in ``pair_counts[k]`` ordered pairs whose
+    evidence is the owning entry — the row of the ``vios`` table of Figure 2.
+    """
+
+    tuple_ids: np.ndarray
+    pair_counts: np.ndarray
+
+    def __post_init__(self) -> None:
+        if len(self.tuple_ids) != len(self.pair_counts):
+            raise ValueError("tuple_ids and pair_counts must have equal length")
+
+
+class EvidenceSet:
+    """The bag ``Evi(D)`` of predicate-satisfaction evidences.
+
+    Parameters
+    ----------
+    space:
+        The predicate space the evidence bitmasks index into.
+    masks:
+        Distinct evidence bitmasks.
+    counts:
+        Multiplicity of each distinct evidence (number of ordered pairs).
+    n_rows:
+        Number of tuples of the underlying relation.
+    participation:
+        Optional per-evidence tuple participation (the ``vios`` structure);
+        required by the f2/f3 approximation functions.
+    """
+
+    def __init__(
+        self,
+        space: PredicateSpace,
+        masks: Sequence[int],
+        counts: Sequence[int],
+        n_rows: int,
+        participation: Sequence[TupleParticipation] | None = None,
+    ) -> None:
+        if len(masks) != len(counts):
+            raise ValueError("masks and counts must have equal length")
+        if participation is not None and len(participation) != len(masks):
+            raise ValueError("participation must align with masks")
+        self.space = space
+        self.masks: list[int] = list(masks)
+        self.counts: np.ndarray = np.asarray(counts, dtype=np.int64)
+        self.n_rows = int(n_rows)
+        self._participation = list(participation) if participation is not None else None
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.masks)
+
+    def __iter__(self) -> Iterator[tuple[int, int]]:
+        """Iterate over ``(mask, count)`` pairs."""
+        for mask, count in zip(self.masks, self.counts):
+            yield mask, int(count)
+
+    @property
+    def total_pairs(self) -> int:
+        """Number of ordered distinct tuple pairs, ``|D| * (|D| - 1)``."""
+        return self.n_rows * (self.n_rows - 1)
+
+    @property
+    def recorded_pairs(self) -> int:
+        """Number of pairs actually recorded (sum of multiplicities)."""
+        return int(self.counts.sum())
+
+    @property
+    def has_participation(self) -> bool:
+        """Whether the ``vios`` structure is available."""
+        return self._participation is not None
+
+    def participation(self, evidence_index: int) -> TupleParticipation:
+        """Tuple participation of one distinct evidence."""
+        if self._participation is None:
+            raise RuntimeError(
+                "evidence set was built without tuple participation; "
+                "rebuild with include_participation=True to use f2/f3"
+            )
+        return self._participation[evidence_index]
+
+    def predicates_of(self, evidence_index: int) -> tuple[Predicate, ...]:
+        """Predicates satisfied by the pairs of one distinct evidence."""
+        return self.space.predicates_of(self.masks[evidence_index])
+
+    # ------------------------------------------------------------------
+    # Queries used by the approximation functions and tests
+    # ------------------------------------------------------------------
+    def uncovered_indices(self, hitting_mask: int) -> list[int]:
+        """Indices of evidences with empty intersection with ``hitting_mask``.
+
+        In DC terms these are the evidences of the pairs *violating* the DC
+        whose complement-predicate set is ``hitting_mask``.
+        """
+        return [index for index, mask in enumerate(self.masks) if mask & hitting_mask == 0]
+
+    def uncovered_pair_count(self, hitting_mask: int) -> int:
+        """Number of pairs whose evidence is not hit by ``hitting_mask``."""
+        return int(
+            sum(
+                int(count)
+                for mask, count in zip(self.masks, self.counts)
+                if mask & hitting_mask == 0
+            )
+        )
+
+    def pair_count_of(self, evidence_indices: Iterable[int]) -> int:
+        """Total number of pairs over a collection of evidence indices."""
+        return int(sum(int(self.counts[index]) for index in evidence_indices))
+
+    def tuples_involved(self, evidence_indices: Iterable[int]) -> set[int]:
+        """Distinct tuples participating in pairs of the given evidences."""
+        involved: set[int] = set()
+        for index in evidence_indices:
+            involved.update(self.participation(index).tuple_ids.tolist())
+        return involved
+
+    def violation_counts_per_tuple(self, evidence_indices: Iterable[int]) -> np.ndarray:
+        """Per-tuple number of violating pairs over the given evidences.
+
+        This is the ``v(t)`` vector computed by ``SortTuples`` in Figure 2.
+        """
+        totals = np.zeros(self.n_rows, dtype=np.int64)
+        for index in evidence_indices:
+            part = self.participation(index)
+            totals[part.tuple_ids] += part.pair_counts
+        return totals
+
+    # ------------------------------------------------------------------
+    # Utilities
+    # ------------------------------------------------------------------
+    def restrict_to_predicates(self, predicate_mask: int) -> "EvidenceSet":
+        """Project every evidence onto a subset of the predicate space.
+
+        Evidences that become identical after the projection are merged
+        (their multiplicities added); participation is dropped because the
+        merge makes it ambiguous.
+        """
+        merged: dict[int, int] = {}
+        for mask, count in self:
+            key = mask & predicate_mask
+            merged[key] = merged.get(key, 0) + count
+        masks = list(merged)
+        counts = [merged[mask] for mask in masks]
+        return EvidenceSet(self.space, masks, counts, self.n_rows)
+
+    def describe(self, limit: int = 10) -> str:
+        """Human readable summary of the evidence multiset."""
+        lines = [
+            f"evidence set: {len(self)} distinct evidences over "
+            f"{self.recorded_pairs} pairs ({self.n_rows} tuples)"
+        ]
+        order = np.argsort(-self.counts)
+        for index in order[:limit]:
+            predicates = ", ".join(str(p) for p in self.predicates_of(int(index)))
+            lines.append(f"  x{int(self.counts[index]):>6}  {{{predicates}}}")
+        if len(self) > limit:
+            lines.append(f"  ... and {len(self) - limit} more")
+        return "\n".join(lines)
+
+
+def evidence_from_pair_masks(
+    space: PredicateSpace,
+    pair_masks: Iterable[int],
+    n_rows: int,
+    pair_tuples: Iterable[tuple[int, int]] | None = None,
+) -> EvidenceSet:
+    """Build an :class:`EvidenceSet` from per-pair bitmasks.
+
+    ``pair_tuples`` optionally provides, for every mask, the ordered pair of
+    row indices it came from, enabling the tuple-participation structure.
+    This constructor is used by the naive pairwise builder and by tests.
+    """
+    pair_masks = list(pair_masks)
+    counts: dict[int, int] = {}
+    tuple_counts: dict[int, dict[int, int]] = {}
+    pairs = list(pair_tuples) if pair_tuples is not None else None
+    if pairs is not None and len(pairs) != len(pair_masks):
+        raise ValueError("pair_tuples must align with pair_masks")
+    for position, mask in enumerate(pair_masks):
+        counts[mask] = counts.get(mask, 0) + 1
+        if pairs is not None:
+            i, j = pairs[position]
+            per_tuple = tuple_counts.setdefault(mask, {})
+            per_tuple[i] = per_tuple.get(i, 0) + 1
+            per_tuple[j] = per_tuple.get(j, 0) + 1
+    masks = list(counts)
+    participation = None
+    if pairs is not None:
+        participation = []
+        for mask in masks:
+            per_tuple = tuple_counts[mask]
+            ids = np.asarray(sorted(per_tuple), dtype=np.int64)
+            per_pair = np.asarray([per_tuple[t] for t in ids.tolist()], dtype=np.int64)
+            participation.append(TupleParticipation(ids, per_pair))
+    return EvidenceSet(space, masks, [counts[m] for m in masks], n_rows, participation)
+
+
+def mask_to_predicate_indices(mask: int) -> list[int]:
+    """Positions of the set bits of an evidence or hitting-set mask."""
+    return list(iter_bits(mask))

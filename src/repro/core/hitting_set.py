@@ -1,0 +1,162 @@
+"""Exact minimal hitting set enumeration (MMCS).
+
+The algorithm of Murakami and Uno [32] (Figure 3 of the paper) enumerates all
+minimal hitting sets of a family of subsets.  ADCEnum extends it to the
+approximate setting; the exact version is kept both as a reusable substrate
+(valid-DC discovery corresponds to epsilon = 0) and as a reference for the
+tests of Theorem 6.1.
+
+Subsets and hitting sets are represented as Python-int bitmasks over element
+indices ``0 .. n_elements - 1``.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+from repro.core.predicate_space import iter_bits
+
+
+@dataclass
+class MMCSStatistics:
+    """Counters describing one enumeration run (used by benchmarks)."""
+
+    recursive_calls: int = 0
+    outputs: int = 0
+    pruned_by_criticality: int = 0
+    extra: dict[str, int] = field(default_factory=dict)
+
+
+class MMCS:
+    """Minimal hitting set enumerator of Murakami and Uno.
+
+    Parameters
+    ----------
+    subsets:
+        The family ``M`` of subsets to hit, as bitmasks.
+    n_elements:
+        Size of the ground set ``K``.
+    """
+
+    def __init__(self, subsets: Sequence[int], n_elements: int) -> None:
+        self.subsets = list(subsets)
+        self.n_elements = int(n_elements)
+        self.statistics = MMCSStatistics()
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def enumerate(self) -> list[int]:
+        """Return all minimal hitting sets as bitmasks."""
+        return list(self.iter_minimal_hitting_sets())
+
+    def iter_minimal_hitting_sets(self) -> Iterator[int]:
+        """Yield every minimal hitting set exactly once."""
+        self.statistics = MMCSStatistics()
+        if any(subset == 0 for subset in self.subsets):
+            # An empty subset can never be hit; there are no hitting sets.
+            return
+        sys.setrecursionlimit(max(sys.getrecursionlimit(), 10_000))
+        uncov = set(range(len(self.subsets)))
+        cand = (1 << self.n_elements) - 1
+        crit: dict[int, set[int]] = {}
+        yield from self._search(0, crit, uncov, cand)
+
+    # ------------------------------------------------------------------
+    # Recursion
+    # ------------------------------------------------------------------
+    def _search(
+        self,
+        current: int,
+        crit: dict[int, set[int]],
+        uncov: set[int],
+        cand: int,
+    ) -> Iterator[int]:
+        self.statistics.recursive_calls += 1
+        if not uncov:
+            self.statistics.outputs += 1
+            yield current
+            return
+        chosen = self._choose_subset(uncov, cand)
+        subset_mask = self.subsets[chosen]
+        to_try = subset_mask & cand
+        cand &= ~subset_mask
+        for element in iter_bits(to_try):
+            newly_covered, removed_from_crit = self._update_crit_uncov(element, current, crit, uncov)
+            if all(crit[member] for member in iter_bits(current)):
+                yield from self._search(current | (1 << element), crit, uncov, cand)
+                cand |= 1 << element
+            else:
+                self.statistics.pruned_by_criticality += 1
+            self._undo_crit_uncov(element, crit, uncov, newly_covered, removed_from_crit)
+
+    def _choose_subset(self, uncov: set[int], cand: int) -> int:
+        """Pick the uncovered subset with the fewest candidate elements.
+
+        This is the selection rule recommended in [32]; ADCEnum flips it to
+        the maximum-intersection rule (Section 6.2, Figure 10).
+        """
+        return min(uncov, key=lambda index: bin(self.subsets[index] & cand).count("1"))
+
+    def _update_crit_uncov(
+        self,
+        element: int,
+        current: int,
+        crit: dict[int, set[int]],
+        uncov: set[int],
+    ) -> tuple[list[int], dict[int, list[int]]]:
+        """Apply the UpdateCritUncov subroutine; return the changes for undo."""
+        element_bit = 1 << element
+        newly_covered = [index for index in uncov if self.subsets[index] & element_bit]
+        for index in newly_covered:
+            uncov.discard(index)
+        crit[element] = set(newly_covered)
+        removed_from_crit: dict[int, list[int]] = {}
+        for member in iter_bits(current):
+            removed = [index for index in crit[member] if self.subsets[index] & element_bit]
+            if removed:
+                removed_from_crit[member] = removed
+                crit[member].difference_update(removed)
+        return newly_covered, removed_from_crit
+
+    def _undo_crit_uncov(
+        self,
+        element: int,
+        crit: dict[int, set[int]],
+        uncov: set[int],
+        newly_covered: list[int],
+        removed_from_crit: dict[int, list[int]],
+    ) -> None:
+        """Revert the changes of :meth:`_update_crit_uncov`."""
+        uncov.update(newly_covered)
+        crit.pop(element, None)
+        for member, removed in removed_from_crit.items():
+            crit[member].update(removed)
+
+
+def minimal_hitting_sets(subsets: Iterable[int], n_elements: int) -> list[int]:
+    """Convenience wrapper returning all minimal hitting sets as bitmasks."""
+    return MMCS(list(subsets), n_elements).enumerate()
+
+
+def brute_force_minimal_hitting_sets(subsets: Sequence[int], n_elements: int) -> list[int]:
+    """Exponential reference implementation used to validate MMCS in tests."""
+    subsets = list(subsets)
+    if any(subset == 0 for subset in subsets):
+        return []
+    hitting: list[int] = []
+    for candidate in range(1 << n_elements):
+        if all(candidate & subset for subset in subsets):
+            hitting.append(candidate)
+    minimal = []
+    for candidate in hitting:
+        if not any(other != candidate and other & candidate == other for other in hitting):
+            minimal.append(candidate)
+    return minimal
+
+
+def is_hitting_set(candidate: int, subsets: Iterable[int]) -> bool:
+    """Whether ``candidate`` intersects every subset."""
+    return all(candidate & subset for subset in subsets)

@@ -1,0 +1,186 @@
+"""Golden denial constraints of the synthetic datasets.
+
+The paper evaluates discovery quality against "golden" DCs curated by domain
+experts for each dataset (Table 4, Figure 14).  The synthetic generators of
+:mod:`repro.data.datasets` are built so that the constraints defined here
+hold *exactly* on the clean data; noise injection then turns them into
+approximate constraints, exactly as in Section 8.4.
+
+All constraints are expressed through the predicate constructors of
+:mod:`repro.core.predicates`; a test asserts that every golden predicate is
+a member of the predicate space generated for its dataset (including the
+cross-attribute ones gated by the 30% shared-values rule).
+"""
+
+from __future__ import annotations
+
+from repro.core.dc import DenialConstraint
+from repro.core.operators import Operator
+from repro.core.predicates import (
+    cross_column_predicate,
+    same_column_predicate,
+    single_tuple_predicate,
+)
+
+EQ = Operator.EQ
+NE = Operator.NE
+LT = Operator.LT
+LE = Operator.LE
+GT = Operator.GT
+GE = Operator.GE
+
+
+def _fd(*determinants: str, determined: str) -> DenialConstraint:
+    """Functional-dependency-shaped DC: determinants agree but the target differs."""
+    predicates = [same_column_predicate(column, EQ) for column in determinants]
+    predicates.append(same_column_predicate(determined, NE))
+    return DenialConstraint(predicates)
+
+
+def golden_tax() -> list[DenialConstraint]:
+    """Nine golden DCs of the synthetic Tax dataset."""
+    return [
+        _fd("Zip", determined="State"),
+        _fd("Zip", determined="City"),
+        _fd("City", determined="State"),
+        _fd("State", determined="Rate"),
+        _fd("State", determined="SingleExemp"),
+        _fd("State", determined="ChildExemp"),
+        DenialConstraint([
+            same_column_predicate("State", EQ),
+            same_column_predicate("Salary", GT),
+            same_column_predicate("Tax", LT),
+        ]),
+        DenialConstraint([single_tuple_predicate("SingleExemp", LT, "ChildExemp")]),
+        _fd("State", "Salary", determined="Tax"),
+    ]
+
+
+def golden_stock() -> list[DenialConstraint]:
+    """Six golden DCs of the synthetic SP Stock dataset."""
+    return [
+        DenialConstraint([single_tuple_predicate("High", LT, "Low")]),
+        DenialConstraint([single_tuple_predicate("Open", GT, "High")]),
+        DenialConstraint([single_tuple_predicate("Open", LT, "Low")]),
+        DenialConstraint([single_tuple_predicate("Close", GT, "High")]),
+        DenialConstraint([single_tuple_predicate("Close", LT, "Low")]),
+        _fd("Ticker", "Date", determined="Close"),
+    ]
+
+
+def golden_hospital() -> list[DenialConstraint]:
+    """Seven golden DCs of the synthetic Hospital dataset."""
+    return [
+        _fd("Provider", determined="Name"),
+        _fd("Provider", determined="Zip"),
+        _fd("Provider", determined="Phone"),
+        _fd("Zip", determined="City"),
+        _fd("Zip", determined="State"),
+        _fd("MeasureCode", determined="MeasureName"),
+        _fd("State", "MeasureCode", determined="StateAvg"),
+    ]
+
+
+def golden_food() -> list[DenialConstraint]:
+    """Ten golden DCs of the synthetic Food Inspection dataset."""
+    return [
+        _fd("Zip", determined="State"),
+        _fd("Zip", determined="City"),
+        _fd("City", determined="State"),
+        _fd("License", determined="Name"),
+        _fd("License", determined="Address"),
+        _fd("License", determined="FacilityType"),
+        _fd("License", determined="Risk"),
+        _fd("Address", determined="Zip"),
+        _fd("Address", determined="City"),
+        _fd("Name", "Address", determined="License"),
+    ]
+
+
+def golden_airport() -> list[DenialConstraint]:
+    """Nine golden DCs of the synthetic Airport dataset."""
+    return [
+        _fd("Code", determined="Name"),
+        _fd("Code", determined="City"),
+        _fd("Code", determined="State"),
+        _fd("Code", determined="Latitude"),
+        _fd("Code", determined="Longitude"),
+        _fd("Code", determined="Elevation"),
+        _fd("City", determined="State"),
+        _fd("State", determined="Country"),
+        _fd("State", determined="TimeZone"),
+    ]
+
+
+def golden_adult() -> list[DenialConstraint]:
+    """Three golden DCs of the synthetic Adult dataset."""
+    return [
+        _fd("Education", determined="EducationNum"),
+        _fd("EducationNum", determined="Education"),
+        DenialConstraint([
+            same_column_predicate("Age", LT),
+            same_column_predicate("BirthYear", LT),
+        ]),
+    ]
+
+
+def golden_flight() -> list[DenialConstraint]:
+    """Thirteen golden DCs of the synthetic Flight dataset."""
+    return [
+        _fd("Flight", determined="Airline"),
+        _fd("Flight", determined="Origin"),
+        _fd("Flight", determined="Dest"),
+        _fd("Flight", determined="Distance"),
+        _fd("Flight", determined="DepTime"),
+        _fd("Flight", determined="ArrTime"),
+        _fd("Flight", determined="Scheduled"),
+        _fd("Origin", determined="OriginState"),
+        _fd("Dest", determined="DestState"),
+        _fd("Origin", "Dest", determined="Distance"),
+        DenialConstraint([single_tuple_predicate("DepTime", GT, "ArrTime")]),
+        DenialConstraint([single_tuple_predicate("Elapsed", GT, "Scheduled")]),
+        DenialConstraint([single_tuple_predicate("Origin", EQ, "Dest")]),
+    ]
+
+
+def golden_voter() -> list[DenialConstraint]:
+    """Twelve golden DCs of the synthetic NCVoter dataset."""
+    return [
+        _fd("VoterId", determined="FirstName"),
+        _fd("VoterId", determined="LastName"),
+        _fd("VoterId", determined="Gender"),
+        _fd("VoterId", determined="BirthYear"),
+        _fd("VoterId", determined="Age"),
+        _fd("VoterId", determined="Zip"),
+        _fd("VoterId", determined="Status"),
+        _fd("Zip", determined="County"),
+        _fd("Zip", determined="State"),
+        _fd("County", determined="State"),
+        _fd("VoterId", determined="RegYear"),
+        DenialConstraint([
+            same_column_predicate("Age", LT),
+            same_column_predicate("BirthYear", LT),
+        ]),
+    ]
+
+
+GOLDEN_DCS: dict[str, list[DenialConstraint]] = {
+    "tax": golden_tax(),
+    "stock": golden_stock(),
+    "hospital": golden_hospital(),
+    "food": golden_food(),
+    "airport": golden_airport(),
+    "adult": golden_adult(),
+    "flight": golden_flight(),
+    "voter": golden_voter(),
+}
+
+
+def golden_dcs(dataset: str) -> list[DenialConstraint]:
+    """Golden DCs of a dataset by name."""
+    try:
+        return list(GOLDEN_DCS[dataset])
+    except KeyError:
+        raise KeyError(
+            f"unknown dataset {dataset!r}; expected one of {sorted(GOLDEN_DCS)}"
+        ) from None

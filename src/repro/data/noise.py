@@ -1,0 +1,148 @@
+"""Noise injection (Section 8.4).
+
+The qualitative analysis of the paper dirties clean datasets in two ways:
+
+* **spread noise** — every cell is modified with a small probability
+  (0.001 in the paper); a modified cell becomes, with equal probability,
+  either another value from the active domain of its column or a typo;
+* **concentrated noise** — the same cell-level corruption, but restricted to
+  a small fraction of the tuples, so errors cluster in few rows.
+
+Both models return a :class:`NoiseReport` describing exactly which cells were
+touched, which the tests use to verify the advertised noise rates.
+"""
+
+from __future__ import annotations
+
+import random
+import string
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.relation import Relation
+from repro.data.types import ColumnType
+
+
+@dataclass
+class NoiseReport:
+    """Record of the cells modified by a noise model."""
+
+    modified_cells: list[tuple[int, str]] = field(default_factory=list)
+    modified_tuples: set[int] = field(default_factory=set)
+    typo_count: int = 0
+    swap_count: int = 0
+
+    @property
+    def n_modified_cells(self) -> int:
+        """Number of cells whose value changed."""
+        return len(self.modified_cells)
+
+    @property
+    def n_modified_tuples(self) -> int:
+        """Number of distinct rows with at least one modified cell."""
+        return len(self.modified_tuples)
+
+
+def add_spread_noise(
+    relation: Relation,
+    cell_probability: float = 0.001,
+    seed: int | None = None,
+) -> tuple[Relation, NoiseReport]:
+    """Corrupt each cell independently with probability ``cell_probability``."""
+    if not 0 <= cell_probability <= 1:
+        raise ValueError("cell_probability must lie in [0, 1]")
+    rng = random.Random(seed)
+    dirty = relation.copy()
+    report = NoiseReport()
+    for column in relation.column_names:
+        values = dirty.column(column).values.copy()
+        column_type = dirty.column_type(column)
+        domain = _active_domain(values)
+        for row in range(relation.n_rows):
+            if rng.random() >= cell_probability:
+                continue
+            values[row] = _corrupt_value(values[row], column_type, domain, rng, report)
+            report.modified_cells.append((row, column))
+            report.modified_tuples.add(row)
+        dirty = dirty.with_values(column, values)
+    return dirty, report
+
+
+def add_concentrated_noise(
+    relation: Relation,
+    tuple_probability: float = 0.001,
+    cells_per_tuple: int = 3,
+    seed: int | None = None,
+) -> tuple[Relation, NoiseReport]:
+    """Corrupt a ``tuple_probability`` fraction of the rows.
+
+    Every selected row gets ``cells_per_tuple`` of its cells corrupted, so the
+    total number of modified values is comparable to the spread model while
+    the errors stay concentrated in few tuples (the second dirty dataset of
+    Section 8.4).
+    """
+    if not 0 <= tuple_probability <= 1:
+        raise ValueError("tuple_probability must lie in [0, 1]")
+    rng = random.Random(seed)
+    report = NoiseReport()
+    target_rows = [row for row in range(relation.n_rows) if rng.random() < tuple_probability]
+    columns = {
+        name: relation.column(name).values.copy() for name in relation.column_names
+    }
+    domains = {name: _active_domain(values) for name, values in columns.items()}
+    for row in target_rows:
+        chosen_columns = rng.sample(
+            relation.column_names, min(cells_per_tuple, relation.n_columns)
+        )
+        for column in chosen_columns:
+            column_type = relation.column_type(column)
+            columns[column][row] = _corrupt_value(
+                columns[column][row], column_type, domains[column], rng, report
+            )
+            report.modified_cells.append((row, column))
+            report.modified_tuples.add(row)
+    dirty = relation
+    for column, values in columns.items():
+        dirty = dirty.with_values(column, values)
+    return dirty, report
+
+
+# ----------------------------------------------------------------------
+# Cell-level corruption
+# ----------------------------------------------------------------------
+def _active_domain(values: np.ndarray) -> list[object]:
+    """Distinct values currently present in a column."""
+    return list(dict.fromkeys(values.tolist()))
+
+
+def _corrupt_value(
+    value: object,
+    column_type: ColumnType,
+    domain: list[object],
+    rng: random.Random,
+    report: NoiseReport,
+) -> object:
+    """Replace one value by a domain swap or a typo (50/50, as in §8.4)."""
+    if rng.random() < 0.5 and len(domain) > 1:
+        report.swap_count += 1
+        candidates = [candidate for candidate in domain if candidate != value]
+        return rng.choice(candidates)
+    report.typo_count += 1
+    return _typo(value, column_type, rng)
+
+
+def _typo(value: object, column_type: ColumnType, rng: random.Random) -> object:
+    """Introduce a small random perturbation of a single value."""
+    if column_type is ColumnType.STRING:
+        text = str(value)
+        if not text:
+            return rng.choice(string.ascii_lowercase)
+        position = rng.randrange(len(text))
+        replacement = rng.choice(string.ascii_lowercase)
+        return text[:position] + replacement + text[position + 1:]
+    if column_type is ColumnType.INTEGER:
+        magnitude = max(1, abs(int(value)) // 10)
+        return int(value) + rng.choice([-1, 1]) * rng.randint(1, magnitude)
+    perturbation = rng.choice([-1, 1]) * rng.uniform(0.05, 0.5) * (abs(float(value)) + 1.0)
+    return float(value) + perturbation

@@ -1,0 +1,109 @@
+"""Position list indexes (PLIs).
+
+A PLI (also called a *stripped partition*) maps every distinct value of a
+column to the sorted list of row positions holding it.  PLIs are the data
+structure DCFinder [37] uses to avoid comparing every pair of tuples when
+building the evidence set; here they serve the same purpose for the
+equality/inequality part of the predicate space and are also used for the
+dataset statistics in Table 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.relation import Relation
+
+
+@dataclass(frozen=True)
+class PositionListIndex:
+    """Clusters of equal values for one column.
+
+    Attributes
+    ----------
+    column:
+        Name of the indexed column.
+    clusters:
+        Tuple of row-index arrays, one per distinct value, each sorted
+        ascending.  Singleton clusters are kept (unlike *stripped* PLIs)
+        because the evidence builder needs the complete partition.
+    values:
+        The distinct value corresponding to each cluster, in the same order.
+    """
+
+    column: str
+    clusters: tuple[np.ndarray, ...]
+    values: tuple[object, ...]
+
+    @property
+    def n_clusters(self) -> int:
+        """Number of distinct values."""
+        return len(self.clusters)
+
+    @property
+    def n_rows(self) -> int:
+        """Number of rows covered by the index."""
+        return int(sum(len(cluster) for cluster in self.clusters))
+
+    def cluster_of(self, value: object) -> np.ndarray:
+        """Row indices holding ``value`` (empty array if absent)."""
+        for cluster_value, cluster in zip(self.values, self.clusters):
+            if cluster_value == value:
+                return cluster
+        return np.empty(0, dtype=np.int64)
+
+    def stripped(self) -> tuple[np.ndarray, ...]:
+        """Clusters of size at least two (the classical stripped partition)."""
+        return tuple(cluster for cluster in self.clusters if len(cluster) >= 2)
+
+    def equal_pair_count(self) -> int:
+        """Number of ordered row pairs (t, t'), t != t', agreeing on the column."""
+        return int(sum(len(cluster) * (len(cluster) - 1) for cluster in self.clusters))
+
+    def row_to_cluster(self) -> np.ndarray:
+        """Array mapping each row index to its cluster id."""
+        mapping = np.empty(self.n_rows, dtype=np.int64)
+        for cluster_id, cluster in enumerate(self.clusters):
+            mapping[cluster] = cluster_id
+        return mapping
+
+
+def build_pli(relation: Relation, column: str) -> PositionListIndex:
+    """Build the PLI of ``column`` in ``relation``."""
+    values = relation.column(column).values
+    if values.dtype == object:
+        # np.unique on object arrays requires orderable values; cast to str.
+        keys = np.asarray([str(v) for v in values], dtype=object)
+    else:
+        keys = values
+    order = np.argsort(keys, kind="stable")
+    sorted_keys = keys[order]
+    boundaries = np.flatnonzero(sorted_keys[1:] != sorted_keys[:-1]) + 1
+    cluster_slices = np.split(order, boundaries)
+    clusters = tuple(np.sort(chunk).astype(np.int64) for chunk in cluster_slices)
+    distinct = tuple(values[chunk[0]] for chunk in cluster_slices)
+    return PositionListIndex(column, clusters, distinct)
+
+
+def build_all_plis(relation: Relation) -> dict[str, PositionListIndex]:
+    """Build PLIs for every column of the relation."""
+    return {name: build_pli(relation, name) for name in relation.column_names}
+
+
+def shared_value_fraction(relation: Relation, left: str, right: str) -> float:
+    """Fraction of shared distinct values between two columns.
+
+    This is the quantity behind the paper's 30% rule (Section 4.2, item 1):
+    predicates comparing two *different* attributes are only generated when
+    the attributes share at least 30% of their values.  Following FASTDC, the
+    fraction is computed w.r.t. the smaller active domain so that a column
+    whose values are a subset of another's qualifies.
+    """
+    left_values = relation.column(left).value_set()
+    right_values = relation.column(right).value_set()
+    if not left_values or not right_values:
+        return 0.0
+    common = len(left_values & right_values)
+    return common / min(len(left_values), len(right_values))

@@ -1,0 +1,292 @@
+"""Typed in-memory relations.
+
+A :class:`Relation` is the database abstraction the whole library operates
+on: a named, ordered collection of typed columns backed by numpy arrays.
+It supports the operations the mining pipeline needs — row access, column
+access, uniform row sampling, projection, and CSV round-trips — and nothing
+more.  The running example of the paper (Table 1) is provided by
+:func:`running_example`.
+"""
+
+from __future__ import annotations
+
+import csv
+import random
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.data.types import ColumnType, coerce_values, infer_column_type
+
+
+@dataclass(frozen=True)
+class Column:
+    """A single typed column of a relation."""
+
+    name: str
+    type: ColumnType
+    values: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def distinct_count(self) -> int:
+        """Number of distinct values in the column."""
+        return len(np.unique(self.values))
+
+    def value_set(self) -> set[object]:
+        """Distinct values as a Python set (used by the 30% sharing rule)."""
+        return set(self.values.tolist())
+
+
+class Relation:
+    """A finite set of tuples over a fixed relation schema.
+
+    Columns are stored as numpy arrays (``float64`` / ``int64`` for numeric
+    columns, ``object`` for strings) which allows the evidence-set builder to
+    vectorise tuple-pair comparisons.
+
+    Parameters
+    ----------
+    name:
+        Relation name (used in reports and DC rendering).
+    columns:
+        Ordered mapping from column name to raw values.  All columns must
+        have the same length.
+    types:
+        Optional explicit column types; inferred from the data if omitted.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        columns: Mapping[str, Sequence[object]],
+        types: Mapping[str, ColumnType] | None = None,
+    ) -> None:
+        if not columns:
+            raise ValueError("a relation needs at least one column")
+        lengths = {len(values) for values in columns.values()}
+        if len(lengths) > 1:
+            raise ValueError(f"columns of {name!r} have inconsistent lengths: {lengths}")
+        self.name = name
+        self._columns: dict[str, Column] = {}
+        for column_name, values in columns.items():
+            column_type = (types or {}).get(column_name) or infer_column_type(values)
+            coerced = coerce_values(list(values), column_type)
+            if column_type is ColumnType.INTEGER:
+                array = np.asarray(coerced, dtype=np.int64)
+            elif column_type is ColumnType.FLOAT:
+                array = np.asarray(coerced, dtype=np.float64)
+            else:
+                array = np.asarray(coerced, dtype=object)
+            self._columns[column_name] = Column(column_name, column_type, array)
+        self._n_rows = lengths.pop() if lengths else 0
+
+    # ------------------------------------------------------------------
+    # Schema and size
+    # ------------------------------------------------------------------
+    @property
+    def column_names(self) -> list[str]:
+        """Column names in schema order."""
+        return list(self._columns)
+
+    @property
+    def columns(self) -> list[Column]:
+        """Column objects in schema order."""
+        return list(self._columns.values())
+
+    @property
+    def n_rows(self) -> int:
+        """Number of tuples in the relation."""
+        return self._n_rows
+
+    @property
+    def n_columns(self) -> int:
+        """Number of attributes in the schema."""
+        return len(self._columns)
+
+    def __len__(self) -> int:
+        return self._n_rows
+
+    def column(self, name: str) -> Column:
+        """Return the column called ``name``."""
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise KeyError(f"relation {self.name!r} has no column {name!r}") from None
+
+    def has_column(self, name: str) -> bool:
+        """Whether the schema contains ``name``."""
+        return name in self._columns
+
+    def column_type(self, name: str) -> ColumnType:
+        """Type of the column called ``name``."""
+        return self.column(name).type
+
+    # ------------------------------------------------------------------
+    # Row access
+    # ------------------------------------------------------------------
+    def row(self, index: int) -> dict[str, object]:
+        """Return row ``index`` as a ``{column: value}`` dict."""
+        if not 0 <= index < self._n_rows:
+            raise IndexError(f"row index {index} out of range for {self._n_rows} rows")
+        return {name: col.values[index] for name, col in self._columns.items()}
+
+    def rows(self) -> Iterator[dict[str, object]]:
+        """Iterate over all rows as dicts."""
+        for index in range(self._n_rows):
+            yield self.row(index)
+
+    def value(self, index: int, column: str) -> object:
+        """Value of ``column`` in row ``index``."""
+        return self.column(column).values[index]
+
+    # ------------------------------------------------------------------
+    # Derived relations
+    # ------------------------------------------------------------------
+    def project(self, column_names: Sequence[str]) -> "Relation":
+        """Return a relation containing only the given columns."""
+        data = {name: self.column(name).values for name in column_names}
+        types = {name: self.column(name).type for name in column_names}
+        return Relation(self.name, data, types)
+
+    def take(self, indices: Sequence[int]) -> "Relation":
+        """Return a relation containing the rows at ``indices`` (in order)."""
+        index_array = np.asarray(list(indices), dtype=np.int64)
+        data = {name: col.values[index_array] for name, col in self._columns.items()}
+        types = {name: col.type for name, col in self._columns.items()}
+        return Relation(self.name, data, types)
+
+    def head(self, n: int) -> "Relation":
+        """Return the first ``n`` rows."""
+        return self.take(range(min(n, self._n_rows)))
+
+    def sample(self, fraction: float, seed: int | None = None) -> "Relation":
+        """Uniformly sample ``fraction`` of the rows without replacement.
+
+        This is the sampler component of ADCMiner (Figure 1, step 2).  A
+        fraction of 1.0 (or more) returns the relation unchanged.
+        """
+        if fraction <= 0:
+            raise ValueError("sample fraction must be positive")
+        if fraction >= 1.0:
+            return self
+        rng = random.Random(seed)
+        sample_size = max(2, round(fraction * self._n_rows))
+        indices = sorted(rng.sample(range(self._n_rows), min(sample_size, self._n_rows)))
+        return self.take(indices)
+
+    def copy(self) -> "Relation":
+        """Return a deep copy (noise injection mutates copies, never inputs)."""
+        data = {name: col.values.copy() for name, col in self._columns.items()}
+        types = {name: col.type for name, col in self._columns.items()}
+        return Relation(self.name, data, types)
+
+    def with_values(self, column: str, values: np.ndarray) -> "Relation":
+        """Return a copy of the relation with one column replaced."""
+        data = {name: col.values for name, col in self._columns.items()}
+        types = {name: col.type for name, col in self._columns.items()}
+        data[column] = values
+        return Relation(self.name, data, types)
+
+    # ------------------------------------------------------------------
+    # Construction helpers and IO
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_records(
+        cls,
+        name: str,
+        records: Iterable[Mapping[str, object]],
+        types: Mapping[str, ColumnType] | None = None,
+    ) -> "Relation":
+        """Build a relation from an iterable of row dicts."""
+        records = list(records)
+        if not records:
+            raise ValueError("cannot build a relation from zero records")
+        column_names = list(records[0])
+        data = {name_: [record[name_] for record in records] for name_ in column_names}
+        return cls(name, data, types)
+
+    @classmethod
+    def from_csv(
+        cls,
+        path: str | Path,
+        name: str | None = None,
+        types: Mapping[str, ColumnType] | None = None,
+    ) -> "Relation":
+        """Load a relation from a CSV file with a header row."""
+        path = Path(path)
+        with path.open(newline="") as handle:
+            reader = csv.DictReader(handle)
+            records = list(reader)
+        return cls.from_records(name or path.stem, records, types)
+
+    def to_csv(self, path: str | Path) -> None:
+        """Write the relation to a CSV file with a header row."""
+        path = Path(path)
+        with path.open("w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(self.column_names)
+            for row in self.rows():
+                writer.writerow([row[name] for name in self.column_names])
+
+    # ------------------------------------------------------------------
+    # Display
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:
+        return f"Relation({self.name!r}, rows={self._n_rows}, columns={self.column_names})"
+
+    def describe(self) -> str:
+        """One line per column: name, type, distinct count."""
+        lines = [f"{self.name}: {self._n_rows} rows"]
+        for col in self.columns:
+            lines.append(f"  {col.name:<16} {col.type.value:<8} distinct={col.distinct_count()}")
+        return "\n".join(lines)
+
+
+@dataclass
+class RelationStatistics:
+    """Summary statistics of a relation (used for Table 4)."""
+
+    name: str
+    n_rows: int
+    n_columns: int
+    n_golden_dcs: int = 0
+    extra: dict[str, object] = field(default_factory=dict)
+
+
+def running_example() -> Relation:
+    """The 15-tuple income/tax relation of Table 1 in the paper.
+
+    Monetary values are stored as integers (``28K`` becomes ``28000``) so
+    that order predicates apply to them.
+    """
+    names = ["Alice", "Mark", "Bob", "Mary", "Alice", "Julia", "Jimmy", "Sam",
+             "Jeff", "Gary", "Ron", "Jennifer", "Adam", "Tim", "Sarah"]
+    states = ["NY", "NY", "NY", "NY", "NY", "WA", "WA", "WA",
+              "WA", "WA", "WA", "WA", "WA", "IL", "IL"]
+    zips = [11803, 10102, 13914, 10437, 10437, 98112, 98112, 98112,
+            98112, 98112, 98112, 98112, 98112, 62078, 98112]
+    incomes = [28000, 42000, 93000, 58000, 26000, 27000, 24000, 49000,
+               56000, 50000, 58000, 61000, 20000, 39000, 54000]
+    taxes = [2400, 4700, 11800, 6700, 2100, 1400, 1600, 6800,
+             7800, 7200, 8000, 8500, 1000, 5000, 5000]
+    return Relation(
+        "people",
+        {
+            "Name": names,
+            "State": states,
+            "Zip": zips,
+            "Income": incomes,
+            "Tax": taxes,
+        },
+        types={
+            "Name": ColumnType.STRING,
+            "State": ColumnType.STRING,
+            "Zip": ColumnType.INTEGER,
+            "Income": ColumnType.INTEGER,
+            "Tax": ColumnType.INTEGER,
+        },
+    )

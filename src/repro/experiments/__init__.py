@@ -1,0 +1,39 @@
+"""Experiment harness reproducing the paper's tables and figures.
+
+Each experiment is a pure function taking an :class:`ExperimentConfig` and
+returning the rows/series behind one table or figure of the paper; the
+benchmark suite under ``benchmarks/`` times these functions and prints their
+output, and the test suite runs them on tiny configurations to guarantee
+they stay executable.
+"""
+
+from repro.experiments.config import ExperimentConfig, SMALL_CONFIG, TINY_CONFIG, default_config
+from repro.experiments.statistics import table4_statistics
+from repro.experiments.runtime import (
+    figure6_enum_vs_searchmc,
+    figure7_total_runtime,
+    figure8_approx_functions,
+    figure9_sample_sizes,
+    figure10_selection_strategy,
+    figure12_miner_sample_sizes,
+)
+from repro.experiments.quality import figure11_sampling_quality, figure13_estimator_gap
+from repro.experiments.qualitative import figure14_grecall, table5_qualitative
+
+__all__ = [
+    "ExperimentConfig",
+    "SMALL_CONFIG",
+    "TINY_CONFIG",
+    "default_config",
+    "table4_statistics",
+    "figure6_enum_vs_searchmc",
+    "figure7_total_runtime",
+    "figure8_approx_functions",
+    "figure9_sample_sizes",
+    "figure10_selection_strategy",
+    "figure12_miner_sample_sizes",
+    "figure11_sampling_quality",
+    "figure13_estimator_gap",
+    "figure14_grecall",
+    "table5_qualitative",
+]

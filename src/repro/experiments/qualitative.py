@@ -1,0 +1,124 @@
+"""Qualitative experiments (Figure 14 and Table 5).
+
+Clean datasets are dirtied with the Section 8.4 noise models (errors spread
+over cells vs concentrated in few tuples) and ADCs are mined at a range of
+thresholds; the G-recall against the golden DCs is reported per
+approximation function (Figure 14), and the recovered approximate DC is
+contrasted with the valid DC discovered on the same dirty data (Table 5).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.metrics import g_recall, recovered_golden
+from repro.core.approximation import STANDARD_FUNCTIONS
+from repro.core.miner import ADCMiner
+from repro.data.noise import add_concentrated_noise, add_spread_noise
+from repro.experiments.config import ExperimentConfig
+
+#: Thresholds swept by Figure 14 (the paper sweeps 1e-6 .. 1e-1).
+FIG14_THRESHOLDS: tuple[float, ...] = (1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1)
+
+#: Cell corruption probability.  The paper uses 0.001 on 10K-tuple samples;
+#: the scaled-down datasets use a proportionally larger rate so that a
+#: comparable number of cells is dirtied.
+NOISE_CELL_PROBABILITY = 0.005
+
+#: Per-function thresholds found best by the paper (Section 8.4).
+BEST_THRESHOLDS: dict[str, float] = {"f1": 1e-4, "f2": 1e-2, "f3": 1e-1}
+
+
+def _dirty_variants(config: ExperimentConfig, name: str):
+    """Spread-noise and concentrated-noise copies of one dataset."""
+    dataset = config.dataset(name)
+    spread, _ = add_spread_noise(dataset.relation, NOISE_CELL_PROBABILITY, seed=config.seed)
+    concentrated, _ = add_concentrated_noise(
+        dataset.relation, NOISE_CELL_PROBABILITY, seed=config.seed
+    )
+    return dataset, {"spread": spread, "concentrated": concentrated}
+
+
+def figure14_grecall(
+    config: ExperimentConfig,
+    thresholds: tuple[float, ...] = FIG14_THRESHOLDS,
+    functions: tuple[str, ...] = tuple(STANDARD_FUNCTIONS),
+) -> list[dict[str, object]]:
+    """Figure 14: G-recall vs threshold, per function and noise model."""
+    rows = []
+    for name in config.datasets:
+        dataset, variants = _dirty_variants(config, name)
+        for noise_kind, dirty in variants.items():
+            for function_name in functions:
+                for epsilon in thresholds:
+                    miner = ADCMiner(function_name, epsilon,
+                                     max_dc_size=config.max_dc_size, seed=config.seed)
+                    result = miner.mine(dirty)
+                    rows.append({
+                        "dataset": name,
+                        "noise": noise_kind,
+                        "function": function_name,
+                        "epsilon": epsilon,
+                        "g_recall": g_recall(result.constraints, dataset.golden),
+                        "dcs": len(result),
+                    })
+    return rows
+
+
+def figure14_valid_dc_grecall(config: ExperimentConfig) -> list[dict[str, object]]:
+    """The parenthesised numbers of Figure 14: G-recall of *valid* DCs (eps = 0)."""
+    rows = []
+    for name in config.datasets:
+        dataset, variants = _dirty_variants(config, name)
+        for noise_kind, dirty in variants.items():
+            miner = ADCMiner("f1", 0.0, max_dc_size=config.max_dc_size, seed=config.seed)
+            result = miner.mine(dirty)
+            rows.append({
+                "dataset": name,
+                "noise": noise_kind,
+                "g_recall_valid": g_recall(result.constraints, dataset.golden),
+            })
+    return rows
+
+
+def table5_qualitative(
+    config: ExperimentConfig,
+    functions: tuple[str, ...] = ("f1",),
+) -> list[dict[str, object]]:
+    """Table 5: recovered approximate DC vs the valid DC found on dirty data.
+
+    For each dataset the golden DCs recovered at the per-function best
+    threshold are listed next to an example valid DC (epsilon = 0) involving
+    the same leading attributes, illustrating how exact discovery compensates
+    for errors by appending predicates.
+    """
+    rows = []
+    for name in config.datasets:
+        dataset, variants = _dirty_variants(config, name)
+        dirty = variants["spread"]
+        valid_result = ADCMiner("f1", 0.0, max_dc_size=config.max_dc_size,
+                                seed=config.seed).mine(dirty)
+        for function_name in functions:
+            epsilon = BEST_THRESHOLDS.get(function_name, config.epsilon)
+            approx_result = ADCMiner(function_name, epsilon,
+                                     max_dc_size=config.max_dc_size, seed=config.seed).mine(dirty)
+            matched = recovered_golden(approx_result.constraints, dataset.golden)
+            for golden_dc in matched[:2]:
+                valid_example = _matching_valid_dc(golden_dc, valid_result.constraints)
+                rows.append({
+                    "dataset": name,
+                    "function": function_name,
+                    "approximate_dc": str(golden_dc),
+                    "valid_dc": str(valid_example) if valid_example is not None else "(none found)",
+                })
+    return rows
+
+
+def _matching_valid_dc(golden_dc, valid_constraints):
+    """A valid DC sharing at least one predicate with the golden DC, if any."""
+    golden_predicates = golden_dc.normalized().predicates
+    best = None
+    best_overlap = 0
+    for constraint in valid_constraints:
+        overlap = len(constraint.predicates & golden_predicates)
+        if overlap > best_overlap:
+            best, best_overlap = constraint, overlap
+    return best

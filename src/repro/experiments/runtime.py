@@ -1,0 +1,176 @@
+"""Runtime experiments (Figures 6, 7, 8, 9, 10 and 12).
+
+Every function returns a list of row dicts — one row per (dataset,
+configuration) point of the corresponding figure — with wall-clock seconds
+measured around the exact components the paper times:
+
+* Figure 6 — ADCEnum vs SearchMC enumeration time (f1, epsilon = 0.1);
+* Figure 7 — total pipeline time of ADCMiner vs DCFinder vs AFASTDC;
+* Figure 8 — ADCMiner time per approximation function, split into total /
+  enumeration / evidence construction;
+* Figure 9 — ADCEnum vs SearchMC for varying sample sizes;
+* Figure 10 — ADCEnum with max- vs min-intersection evidence selection;
+* Figure 12 — ADCMiner total time for varying sample sizes.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.baselines.fastdc import SearchMC
+from repro.baselines.pairwise import afastdc_mine, dcfinder_mine
+from repro.core.adc_enum import ADCEnum
+from repro.core.approximation import STANDARD_FUNCTIONS, F1, get_approximation_function
+from repro.core.evidence_builder import build_evidence_set
+from repro.core.miner import ADCMiner
+from repro.core.predicate_space import build_predicate_space
+from repro.experiments.config import ExperimentConfig
+
+#: Sample fractions used by Figures 9 and 12 (the paper sweeps 20%–100%).
+SAMPLE_FRACTIONS: tuple[float, ...] = (0.2, 0.4, 0.6, 0.8, 1.0)
+
+
+def _prepare_evidence(config: ExperimentConfig, name: str, fraction: float = 1.0,
+                      include_participation: bool = False):
+    """Dataset -> (sampled) relation -> predicate space -> evidence set."""
+    dataset = config.dataset(name)
+    relation = dataset.relation.sample(fraction, seed=config.seed)
+    space = build_predicate_space(relation)
+    evidence = build_evidence_set(relation, space, include_participation=include_participation)
+    return dataset, relation, space, evidence
+
+
+def figure6_enum_vs_searchmc(config: ExperimentConfig) -> list[dict[str, object]]:
+    """Figure 6: enumeration time of ADCEnum vs SearchMC (f1, eps = 0.1)."""
+    rows = []
+    for name in config.datasets:
+        _dataset, _relation, _space, evidence = _prepare_evidence(config, name)
+        started = time.perf_counter()
+        adc_enum = ADCEnum(evidence, F1(), config.epsilon, max_dc_size=config.max_dc_size)
+        adcs = adc_enum.enumerate()
+        adc_enum_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        search_mc = SearchMC(evidence, F1(), config.epsilon, max_cover_size=config.max_dc_size)
+        baseline = search_mc.enumerate()
+        search_mc_seconds = time.perf_counter() - started
+
+        rows.append({
+            "dataset": name,
+            "adcenum_seconds": adc_enum_seconds,
+            "searchmc_seconds": search_mc_seconds,
+            "speedup": search_mc_seconds / adc_enum_seconds if adc_enum_seconds else 0.0,
+            "adcenum_dcs": len(adcs),
+            "searchmc_dcs": len(baseline),
+        })
+    return rows
+
+
+def figure7_total_runtime(config: ExperimentConfig) -> list[dict[str, object]]:
+    """Figure 7: total time of ADCMiner vs DCFinder vs AFASTDC pipelines."""
+    rows = []
+    for name in config.datasets:
+        dataset = config.dataset(name)
+        miner = ADCMiner("f1", config.epsilon, max_dc_size=config.max_dc_size, seed=config.seed)
+        result = miner.mine(dataset.relation)
+        dcfinder = dcfinder_mine(dataset.relation, F1(), config.epsilon,
+                                 seed=config.seed, max_cover_size=config.max_dc_size)
+        afastdc = afastdc_mine(dataset.relation, F1(), config.epsilon,
+                               seed=config.seed, max_cover_size=config.max_dc_size)
+        rows.append({
+            "dataset": name,
+            "adcminer_seconds": result.timings.total,
+            "dcfinder_seconds": dcfinder.timings.total,
+            "afastdc_seconds": afastdc.timings.total,
+            "adcminer_dcs": len(result),
+            "dcfinder_dcs": len(dcfinder),
+            "afastdc_dcs": len(afastdc),
+        })
+    return rows
+
+
+def figure8_approx_functions(config: ExperimentConfig) -> list[dict[str, object]]:
+    """Figure 8: ADCMiner time per approximation function (total/enum/evidence)."""
+    rows = []
+    for name in config.datasets:
+        for function_name in STANDARD_FUNCTIONS:
+            miner = ADCMiner(function_name, config.epsilon,
+                             max_dc_size=config.max_dc_size, seed=config.seed)
+            result = miner.mine(config.dataset(name).relation)
+            rows.append({
+                "dataset": name,
+                "function": function_name,
+                "total_seconds": result.timings.total,
+                "enumeration_seconds": result.timings.enumeration,
+                "evidence_seconds": result.timings.evidence,
+                "dcs": len(result),
+            })
+    return rows
+
+
+def figure9_sample_sizes(config: ExperimentConfig) -> list[dict[str, object]]:
+    """Figure 9: ADCEnum vs SearchMC enumeration time for varying sample sizes."""
+    rows = []
+    for name in config.datasets:
+        for fraction in SAMPLE_FRACTIONS:
+            _dataset, _relation, _space, evidence = _prepare_evidence(config, name, fraction)
+            started = time.perf_counter()
+            ADCEnum(evidence, F1(), config.epsilon, max_dc_size=config.max_dc_size).enumerate()
+            adc_enum_seconds = time.perf_counter() - started
+            started = time.perf_counter()
+            SearchMC(evidence, F1(), config.epsilon, max_cover_size=config.max_dc_size).enumerate()
+            search_mc_seconds = time.perf_counter() - started
+            rows.append({
+                "dataset": name,
+                "sample": fraction,
+                "adcenum_seconds": adc_enum_seconds,
+                "searchmc_seconds": search_mc_seconds,
+            })
+    return rows
+
+
+def figure10_selection_strategy(config: ExperimentConfig) -> list[dict[str, object]]:
+    """Figure 10: max- vs min-intersection evidence selection, per function.
+
+    The paper runs this ablation on Tax, SP Stock and Hospital for all three
+    approximation functions.
+    """
+    datasets = tuple(name for name in ("tax", "stock", "hospital") if name in config.datasets)
+    rows = []
+    for name in datasets or config.datasets[:3]:
+        _dataset, _relation, _space, evidence = _prepare_evidence(
+            config, name, include_participation=True
+        )
+        for function_name in STANDARD_FUNCTIONS:
+            function = get_approximation_function(function_name)
+            timings = {}
+            for selection in ("max", "min"):
+                started = time.perf_counter()
+                ADCEnum(evidence, function, config.epsilon, selection=selection,
+                        max_dc_size=config.max_dc_size).enumerate()
+                timings[selection] = time.perf_counter() - started
+            rows.append({
+                "dataset": name,
+                "function": function_name,
+                "max_intersection_seconds": timings["max"],
+                "min_intersection_seconds": timings["min"],
+            })
+    return rows
+
+
+def figure12_miner_sample_sizes(config: ExperimentConfig) -> list[dict[str, object]]:
+    """Figure 12: total ADCMiner time for varying sample sizes (f1)."""
+    rows = []
+    for name in config.datasets:
+        dataset = config.dataset(name)
+        for fraction in SAMPLE_FRACTIONS:
+            miner = ADCMiner("f1", config.epsilon, sample_fraction=fraction,
+                             max_dc_size=config.max_dc_size, seed=config.seed)
+            result = miner.mine(dataset.relation)
+            rows.append({
+                "dataset": name,
+                "sample": fraction,
+                "total_seconds": result.timings.total,
+                "dcs": len(result),
+            })
+    return rows

@@ -1,0 +1,15 @@
+"""Table 4 — dataset statistics."""
+
+from __future__ import annotations
+
+from repro.analysis.metrics import dataset_statistics
+from repro.experiments.config import ExperimentConfig
+
+
+def table4_statistics(config: ExperimentConfig) -> list[dict[str, object]]:
+    """One row per dataset: #tuples, #attributes, #golden DCs (Table 4)."""
+    rows = []
+    for name in config.datasets:
+        dataset = config.dataset(name)
+        rows.append(dataset_statistics(dataset))
+    return rows

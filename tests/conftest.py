@@ -1,0 +1,72 @@
+"""Shared fixtures of the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.approximation import F1
+from repro.core.evidence_builder import build_evidence_set
+from repro.core.predicate_space import PredicateSpaceConfig, build_predicate_space
+from repro.data.relation import Relation, running_example
+
+
+@pytest.fixture(scope="session")
+def example_relation() -> Relation:
+    """The 15-tuple running example of Table 1."""
+    return running_example()
+
+
+@pytest.fixture(scope="session")
+def example_space(example_relation):
+    """Predicate space of the running example."""
+    return build_predicate_space(example_relation)
+
+
+@pytest.fixture(scope="session")
+def example_evidence(example_relation, example_space):
+    """Evidence set of the running example (with tuple participation)."""
+    return build_evidence_set(example_relation, example_space, include_participation=True)
+
+
+@pytest.fixture(scope="session")
+def f1_function() -> F1:
+    """The pair-based approximation function."""
+    return F1()
+
+
+def make_random_relation(
+    n_rows: int = 8,
+    n_string_columns: int = 2,
+    n_numeric_columns: int = 2,
+    domain_size: int = 3,
+    seed: int = 0,
+    name: str = "random",
+) -> Relation:
+    """Small random relation used by correctness and property tests.
+
+    Small domains force plenty of coincidences (equalities, order ties) so
+    the evidence sets are interesting despite the tiny size.
+    """
+    rng = random.Random(seed)
+    columns: dict[str, list[object]] = {}
+    for index in range(n_string_columns):
+        columns[f"S{index}"] = [
+            f"v{rng.randrange(domain_size)}" for _ in range(n_rows)
+        ]
+    for index in range(n_numeric_columns):
+        columns[f"N{index}"] = [rng.randrange(domain_size) for _ in range(n_rows)]
+    return Relation(name, columns)
+
+
+@pytest.fixture
+def small_relation() -> Relation:
+    """A deterministic tiny relation for exhaustive cross-checks."""
+    return make_random_relation(n_rows=7, seed=42)
+
+
+@pytest.fixture(scope="session")
+def small_space_config() -> PredicateSpaceConfig:
+    """Predicate space configuration keeping tiny test spaces tiny."""
+    return PredicateSpaceConfig(include_cross_column=False, include_single_tuple=False)

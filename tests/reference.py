@@ -1,0 +1,88 @@
+"""Brute-force reference implementations used to validate the real algorithms.
+
+These are deliberately naive (exponential) and only run on tiny inputs; they
+follow the paper's definitions as literally as possible so that agreement
+with the optimised implementations is meaningful.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable
+
+from repro.core.approximation import ApproximationFunction
+from repro.core.dc import DenialConstraint
+from repro.core.evidence import EvidenceSet
+from repro.core.predicate_space import PredicateSpace, iter_bits
+
+
+def brute_force_minimal_adc_hitting_sets(
+    evidence: EvidenceSet,
+    function: ApproximationFunction,
+    epsilon: float,
+    max_size: int = 4,
+) -> set[int]:
+    """All minimal approximate hitting sets, by exhaustive subset enumeration.
+
+    Mirrors the restrictions the paper's enumerator applies: at most one
+    predicate per column-pair group (operator-only variants are pruned by
+    ``RemoveRedundantPreds``), and the corresponding DC must be nontrivial.
+    Subsets are capped at ``max_size`` elements to keep the search feasible;
+    callers must pass the same cap to the algorithm under test.
+    """
+    space = evidence.space
+    n = len(space)
+    passing: set[int] = set()
+    for size in range(1, max_size + 1):
+        for combo in itertools.combinations(range(n), size):
+            if not _one_per_group(space, combo):
+                continue
+            mask = 0
+            for index in combo:
+                mask |= 1 << index
+            if _dc_of(space, mask).is_trivial():
+                continue
+            uncovered = evidence.uncovered_indices(mask)
+            if function.violation_score(evidence, uncovered) <= epsilon:
+                passing.add(mask)
+    minimal: set[int] = set()
+    for mask in passing:
+        has_smaller = any(other != mask and other & mask == other for other in passing)
+        if not has_smaller:
+            minimal.add(mask)
+    return minimal
+
+
+def _one_per_group(space: PredicateSpace, indices: Iterable[int]) -> bool:
+    """Whether the hitting set uses at most one predicate per group."""
+    groups = [space[index].group_key for index in indices]
+    return len(groups) == len(set(groups))
+
+
+def _dc_of(space: PredicateSpace, hitting_mask: int) -> DenialConstraint:
+    """DC corresponding to a hitting set (complement of every element)."""
+    return DenialConstraint(
+        space[space.complement_index(index)] for index in iter_bits(hitting_mask)
+    )
+
+
+def brute_force_adcs(
+    evidence: EvidenceSet,
+    function: ApproximationFunction,
+    epsilon: float,
+    max_size: int = 4,
+) -> set[frozenset]:
+    """Normalised predicate sets of all minimal nontrivial ADCs."""
+    space = evidence.space
+    hitting_sets = brute_force_minimal_adc_hitting_sets(evidence, function, epsilon, max_size)
+    return {_dc_of(space, mask).predicates for mask in hitting_sets}
+
+
+def brute_force_violation_count(relation, constraint: DenialConstraint) -> int:
+    """Violations of a DC by direct evaluation of every ordered pair."""
+    rows = [relation.row(index) for index in range(relation.n_rows)]
+    count = 0
+    for i, j in itertools.permutations(range(relation.n_rows), 2):
+        if all(p.evaluate(rows[i], rows[j]) for p in constraint.predicates):
+            count += 1
+    return count

@@ -1,0 +1,65 @@
+"""Tests for the SearchMC baseline and the baseline pipelines."""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.conftest import make_random_relation
+from repro.baselines.fastdc import SearchMC, search_minimal_covers
+from repro.baselines.pairwise import PairwiseEvidenceBuilder, afastdc_mine, dcfinder_mine
+from repro.core.adc_enum import enumerate_adcs
+from repro.core.approximation import F1
+from repro.core.evidence_builder import build_evidence_set
+from repro.core.predicate_space import build_predicate_space
+
+
+def _normalised(adcs):
+    return {adc.constraint.normalized().predicates for adc in adcs}
+
+
+class TestSearchMCAgreesWithADCEnum:
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("epsilon", [0.0, 0.1])
+    def test_same_minimal_adcs(self, seed, epsilon):
+        relation = make_random_relation(n_rows=7, seed=seed)
+        space = build_predicate_space(relation)
+        evidence = build_evidence_set(relation, space)
+        ours = enumerate_adcs(evidence, F1(), epsilon, max_dc_size=3)
+        baseline = search_minimal_covers(evidence, F1(), epsilon, max_cover_size=3)
+        assert _normalised(ours) == _normalised(baseline)
+
+    def test_running_example_agreement(self, example_evidence):
+        ours = enumerate_adcs(example_evidence, F1(), 0.05)
+        baseline = search_minimal_covers(example_evidence, F1(), 0.05)
+        assert _normalised(ours) == _normalised(baseline)
+
+    def test_statistics_populated(self, example_evidence):
+        search = SearchMC(example_evidence, F1(), 0.05)
+        results = search.enumerate()
+        assert search.statistics.covers_found >= len(results)
+        assert search.statistics.nodes_visited > 0
+
+    def test_invalid_epsilon_rejected(self, example_evidence):
+        with pytest.raises(ValueError):
+            SearchMC(example_evidence, F1(), epsilon=-1)
+
+
+class TestBaselinePipelines:
+    def test_afastdc_and_dcfinder_agree_with_each_other(self, example_relation):
+        afastdc = afastdc_mine(example_relation, F1(), 0.05)
+        dcfinder = dcfinder_mine(example_relation, F1(), 0.05)
+        assert _normalised(afastdc.adcs) == _normalised(dcfinder.adcs)
+        assert afastdc.n_predicates == dcfinder.n_predicates
+        assert afastdc.n_evidences == dcfinder.n_evidences
+
+    def test_pairwise_builder_component(self, example_relation, example_space, example_evidence):
+        builder = PairwiseEvidenceBuilder()
+        evidence = builder.build(example_relation, example_space)
+        assert sorted(zip(evidence.masks, evidence.counts.tolist())) == sorted(
+            zip(example_evidence.masks, example_evidence.counts.tolist())
+        )
+
+    def test_timings_recorded(self, example_relation):
+        result = dcfinder_mine(example_relation, F1(), 0.05)
+        assert result.timings.total > 0
+        assert result.timings.evidence >= 0

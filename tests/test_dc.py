@@ -1,0 +1,112 @@
+"""Tests for denial constraints and their semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dc import DenialConstraint, format_dc_set, minimize_dcs
+from repro.core.operators import Operator
+from repro.core.predicates import same_column_predicate, single_tuple_predicate
+from repro.data.relation import Relation
+
+
+@pytest.fixture
+def fd_constraint() -> DenialConstraint:
+    """Zip determines State: not (Zip = Zip' and State != State')."""
+    return DenialConstraint([
+        same_column_predicate("Zip", Operator.EQ),
+        same_column_predicate("State", Operator.NE),
+    ])
+
+
+class TestSemantics:
+    def test_violation_count_on_running_example(self, example_relation, fd_constraint):
+        # Example 1.2: sixteen ordered pairs violate the zip->state rule.
+        assert fd_constraint.violation_count(example_relation) == 16
+
+    def test_violating_tuples(self, example_relation, fd_constraint):
+        involved = fd_constraint.violating_tuples(example_relation)
+        assert 14 in involved  # t15 participates in every violation
+        assert len(involved) == 9
+
+    def test_is_satisfied(self, example_relation, fd_constraint):
+        assert not fd_constraint.is_satisfied(example_relation)
+        name_key = DenialConstraint([same_column_predicate("Zip", Operator.EQ),
+                                     same_column_predicate("Income", Operator.EQ)])
+        clean = Relation("r", {"Zip": [1, 2, 3], "Income": [10, 20, 30]})
+        assert DenialConstraint([same_column_predicate("Zip", Operator.EQ)]).is_satisfied(clean)
+        assert name_key.violation_count(clean) == 0
+
+    def test_satisfied_by_pair_requires_one_failing_predicate(self, fd_constraint):
+        violating = ({"Zip": 1, "State": "A"}, {"Zip": 1, "State": "B"})
+        satisfying = ({"Zip": 1, "State": "A"}, {"Zip": 1, "State": "A"})
+        assert not fd_constraint.satisfied_by_pair(*violating)
+        assert fd_constraint.satisfied_by_pair(*satisfying)
+
+
+class TestStructure:
+    def test_trivial_when_operators_contradict(self):
+        constraint = DenialConstraint([
+            same_column_predicate("A", Operator.LT),
+            same_column_predicate("A", Operator.GE),
+        ])
+        assert constraint.is_trivial()
+
+    def test_empty_dc_is_trivial(self):
+        assert DenialConstraint([]).is_trivial()
+
+    def test_satisfiable_conjunction_is_not_trivial(self, fd_constraint):
+        assert not fd_constraint.is_trivial()
+        le_ge = DenialConstraint([
+            same_column_predicate("A", Operator.LE),
+            same_column_predicate("A", Operator.GE),
+        ])
+        assert not le_ge.is_trivial()
+
+    def test_normalized_drops_implied_predicates(self):
+        constraint = DenialConstraint([
+            same_column_predicate("A", Operator.LT),
+            same_column_predicate("A", Operator.LE),
+        ])
+        assert constraint.normalized().predicates == frozenset(
+            [same_column_predicate("A", Operator.LT)]
+        )
+
+    def test_generalizes(self, fd_constraint):
+        more_specific = DenialConstraint(
+            list(fd_constraint.predicates) + [same_column_predicate("Name", Operator.EQ)]
+        )
+        assert fd_constraint.generalizes(more_specific)
+        assert not more_specific.generalizes(fd_constraint)
+
+    def test_same_constraint_modulo_redundancy(self):
+        left = DenialConstraint([same_column_predicate("A", Operator.LT)])
+        right = DenialConstraint([
+            same_column_predicate("A", Operator.LT),
+            same_column_predicate("A", Operator.LE),
+        ])
+        assert left.same_constraint(right)
+
+    def test_spans_two_tuples(self):
+        single = DenialConstraint([single_tuple_predicate("A", Operator.GT, "B")])
+        assert not single.spans_two_tuples
+        two = DenialConstraint([same_column_predicate("A", Operator.EQ)])
+        assert two.spans_two_tuples
+
+
+class TestCollections:
+    def test_minimize_dcs_removes_supersets_and_duplicates(self, fd_constraint):
+        superset = DenialConstraint(
+            list(fd_constraint.predicates) + [same_column_predicate("Name", Operator.EQ)]
+        )
+        duplicate = DenialConstraint(fd_constraint.predicates)
+        minimal = minimize_dcs([fd_constraint, superset, duplicate])
+        assert minimal == [fd_constraint]
+
+    def test_format_dc_set(self, fd_constraint):
+        text = format_dc_set([fd_constraint])
+        assert "t[Zip] == t'[Zip]" in text
+        assert text.startswith("forall")
+
+    def test_str_is_stable(self, fd_constraint):
+        assert str(fd_constraint) == str(DenialConstraint(fd_constraint.predicates))

@@ -1,0 +1,136 @@
+"""Correctness tests for ADCEnum (Theorem 6.1) and its search options."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from tests.conftest import make_random_relation
+from tests.reference import brute_force_adcs
+from repro.core.adc_enum import ADCEnum, enumerate_adcs
+from repro.core.approximation import F1, F2, F3Greedy
+from repro.core.evidence_builder import build_evidence_set
+from repro.core.predicate_space import build_predicate_space
+
+
+def _evidence_for(seed: int, n_rows: int = 7, domain: int = 3):
+    relation = make_random_relation(n_rows=n_rows, seed=seed, domain_size=domain)
+    space = build_predicate_space(relation)
+    return build_evidence_set(relation, space, include_participation=True)
+
+
+def _normalised(adcs):
+    return {adc.constraint.predicates for adc in adcs}
+
+
+class TestAgainstBruteForce:
+    """ADCEnum returns exactly the minimal nontrivial ADCs (Theorem 6.1)."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("epsilon", [0.0, 0.05, 0.2])
+    def test_f1_matches_brute_force(self, seed, epsilon):
+        evidence = _evidence_for(seed)
+        function = F1()
+        discovered = enumerate_adcs(evidence, function, epsilon, max_dc_size=3)
+        expected = brute_force_adcs(evidence, function, epsilon, max_size=3)
+        assert _normalised(discovered) == expected
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_f2_matches_brute_force(self, seed):
+        evidence = _evidence_for(seed)
+        function = F2()
+        discovered = enumerate_adcs(evidence, function, epsilon=0.3, max_dc_size=2)
+        expected = brute_force_adcs(evidence, function, epsilon=0.3, max_size=2)
+        assert _normalised(discovered) == expected
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_f3_greedy_outputs_are_sound(self, seed):
+        """The greedy f3 carries no completeness guarantee (Section 5), so
+        only soundness is asserted: every output passes the threshold and no
+        single-predicate removal does."""
+        evidence = _evidence_for(seed)
+        function = F3Greedy()
+        epsilon = 0.3
+        for adc in enumerate_adcs(evidence, function, epsilon, max_dc_size=2):
+            assert adc.violation_score <= epsilon
+            hitting = adc.hitting_set_mask
+            for bit in range(len(evidence.space)):
+                if hitting & (1 << bit) and hitting & ~(1 << bit):
+                    score = function.violation_score(
+                        evidence, evidence.uncovered_indices(hitting & ~(1 << bit))
+                    )
+                    assert score > epsilon
+
+    @pytest.mark.parametrize("seed", [0, 3])
+    def test_no_duplicates(self, seed):
+        evidence = _evidence_for(seed)
+        discovered = enumerate_adcs(evidence, F1(), 0.1, max_dc_size=3)
+        predicate_sets = [adc.constraint.predicates for adc in discovered]
+        assert len(predicate_sets) == len(set(predicate_sets))
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_property_outputs_pass_threshold_and_are_minimal(self, seed):
+        evidence = _evidence_for(seed, n_rows=6)
+        epsilon = 0.15
+        function = F1()
+        for adc in enumerate_adcs(evidence, function, epsilon, max_dc_size=3):
+            assert adc.violation_score <= epsilon
+            assert not adc.constraint.is_trivial()
+            hitting = adc.hitting_set_mask
+            for bit in range(len(evidence.space)):
+                if hitting & (1 << bit):
+                    reduced = hitting & ~(1 << bit)
+                    if reduced:
+                        score = function.violation_score(
+                            evidence, evidence.uncovered_indices(reduced)
+                        )
+                        assert score > epsilon
+
+
+class TestSearchOptions:
+    def test_selection_strategies_agree_on_output(self, example_evidence):
+        reference = _normalised(enumerate_adcs(example_evidence, F1(), 0.05, selection="max"))
+        for strategy in ("min", "random"):
+            assert _normalised(
+                enumerate_adcs(example_evidence, F1(), 0.05, selection=strategy)
+            ) == reference
+
+    def test_max_dc_size_caps_output(self, example_evidence):
+        capped = enumerate_adcs(example_evidence, F1(), 0.05, max_dc_size=2)
+        assert all(len(adc.constraint) <= 2 for adc in capped)
+        uncapped = _normalised(enumerate_adcs(example_evidence, F1(), 0.05))
+        assert _normalised(capped) <= uncapped
+
+    def test_epsilon_zero_returns_only_valid_dcs(self, example_relation, example_evidence):
+        for adc in enumerate_adcs(example_evidence, F1(), 0.0, max_dc_size=2):
+            assert adc.constraint.violation_count(example_relation) == 0
+
+    def test_larger_epsilon_gives_more_general_constraints(self, example_evidence):
+        strict = enumerate_adcs(example_evidence, F1(), 0.0, max_dc_size=3)
+        loose = enumerate_adcs(example_evidence, F1(), 0.1, max_dc_size=3)
+        average_strict = sum(len(adc.constraint) for adc in strict) / len(strict)
+        average_loose = sum(len(adc.constraint) for adc in loose) / len(loose)
+        assert average_loose <= average_strict
+
+    def test_invalid_parameters_rejected(self, example_evidence):
+        with pytest.raises(ValueError):
+            ADCEnum(example_evidence, F1(), epsilon=-0.1)
+        with pytest.raises(ValueError):
+            ADCEnum(example_evidence, F1(), selection="bogus")
+
+    def test_participation_required_for_f2(self, example_relation, example_space):
+        evidence = build_evidence_set(example_relation, example_space, include_participation=False)
+        with pytest.raises(ValueError):
+            ADCEnum(evidence, F2())
+
+    def test_statistics_populated(self, example_evidence):
+        enumerator = ADCEnum(example_evidence, F1(), 0.05)
+        results = enumerator.enumerate()
+        assert enumerator.statistics.outputs == len(results)
+        assert enumerator.statistics.recursive_calls > 0
+        assert enumerator.statistics.elapsed_seconds >= 0
+
+    def test_violation_scores_reported(self, example_evidence):
+        for adc in enumerate_adcs(example_evidence, F1(), 0.05):
+            assert 0.0 <= adc.violation_score <= 0.05

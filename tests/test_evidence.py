@@ -1,0 +1,94 @@
+"""Tests for the evidence set and its two builders."""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.conftest import make_random_relation
+from repro.core.evidence import evidence_from_pair_masks
+from repro.core.evidence_builder import build_evidence_set, build_evidence_set_pairwise
+from repro.core.predicate_space import build_predicate_space
+
+
+class TestRunningExampleEvidence:
+    def test_total_pairs(self, example_evidence):
+        assert example_evidence.total_pairs == 15 * 14
+        assert example_evidence.recorded_pairs == 15 * 14
+
+    def test_masks_and_counts_align(self, example_evidence):
+        assert len(example_evidence.masks) == len(example_evidence.counts)
+        assert all(count > 0 for count in example_evidence.counts)
+
+    def test_every_evidence_nonempty(self, example_evidence):
+        # Every ordered pair of distinct tuples satisfies at least one
+        # predicate (e.g. one of ==/!= on every attribute).
+        assert all(mask != 0 for mask in example_evidence.masks)
+
+    def test_participation_counts_sum_to_two_per_pair(self, example_evidence):
+        for index in range(len(example_evidence)):
+            part = example_evidence.participation(index)
+            assert part.pair_counts.sum() == 2 * example_evidence.counts[index]
+
+    def test_uncovered_pair_count_matches_indices(self, example_evidence, example_space):
+        hitting = 1 << 0
+        indices = example_evidence.uncovered_indices(hitting)
+        assert example_evidence.uncovered_pair_count(hitting) == example_evidence.pair_count_of(indices)
+
+
+class TestBuildersAgree:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_vectorized_matches_pairwise(self, seed):
+        relation = make_random_relation(n_rows=9, seed=seed)
+        space = build_predicate_space(relation)
+        fast = build_evidence_set(relation, space, include_participation=True)
+        slow = build_evidence_set_pairwise(relation, space, include_participation=True)
+        assert sorted(zip(fast.masks, fast.counts.tolist())) == sorted(
+            zip(slow.masks, slow.counts.tolist())
+        )
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_participation_matches_pairwise(self, seed):
+        relation = make_random_relation(n_rows=8, seed=seed)
+        space = build_predicate_space(relation)
+        fast = build_evidence_set(relation, space, include_participation=True)
+        slow = build_evidence_set_pairwise(relation, space, include_participation=True)
+        fast_by_mask = {mask: fast.participation(i) for i, mask in enumerate(fast.masks)}
+        slow_by_mask = {mask: slow.participation(i) for i, mask in enumerate(slow.masks)}
+        for mask, fast_part in fast_by_mask.items():
+            slow_part = slow_by_mask[mask]
+            assert dict(zip(fast_part.tuple_ids.tolist(), fast_part.pair_counts.tolist())) == dict(
+                zip(slow_part.tuple_ids.tolist(), slow_part.pair_counts.tolist())
+            )
+
+    def test_single_row_relation_yields_empty_evidence(self):
+        relation = make_random_relation(n_rows=1)
+        space = build_predicate_space(relation)
+        evidence = build_evidence_set(relation, space)
+        assert len(evidence) == 0
+        assert evidence.total_pairs == 0
+
+
+class TestEvidenceOperations:
+    def test_restrict_to_predicates_merges_counts(self, example_evidence):
+        restricted = example_evidence.restrict_to_predicates(0b111)
+        assert restricted.recorded_pairs == example_evidence.recorded_pairs
+        assert len(restricted) <= len(example_evidence)
+
+    def test_participation_requires_flag(self, example_relation, example_space):
+        evidence = build_evidence_set(example_relation, example_space, include_participation=False)
+        with pytest.raises(RuntimeError):
+            evidence.participation(0)
+
+    def test_evidence_from_pair_masks_counts(self, example_space):
+        evidence = evidence_from_pair_masks(
+            example_space, [0b1, 0b1, 0b10], n_rows=2, pair_tuples=[(0, 1), (1, 0), (0, 1)]
+        )
+        assert sorted(zip(evidence.masks, evidence.counts.tolist())) == [(0b1, 2), (0b10, 1)]
+
+    def test_violation_counts_per_tuple(self, example_evidence):
+        totals = example_evidence.violation_counts_per_tuple(range(len(example_evidence)))
+        # Every tuple participates in 2 * (n - 1) ordered pairs.
+        assert set(totals.tolist()) == {2 * 14}
+
+    def test_describe_mentions_size(self, example_evidence):
+        assert "distinct evidences" in example_evidence.describe()

@@ -1,0 +1,94 @@
+"""Smoke tests for the experiment harness (tiny configurations).
+
+Each experiment function must stay runnable and produce rows with the schema
+the benchmark suite prints; the heavy lifting is exercised at benchmark scale
+by ``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    ExperimentConfig,
+    TINY_CONFIG,
+    default_config,
+    figure6_enum_vs_searchmc,
+    figure7_total_runtime,
+    figure8_approx_functions,
+    figure10_selection_strategy,
+    figure11_sampling_quality,
+    figure13_estimator_gap,
+    figure14_grecall,
+    table4_statistics,
+    table5_qualitative,
+)
+from repro.experiments.runtime import figure9_sample_sizes, figure12_miner_sample_sizes
+
+
+@pytest.fixture(scope="module")
+def tiny():
+    return TINY_CONFIG
+
+
+class TestConfig:
+    def test_default_config_reads_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.5")
+        scaled = default_config()
+        assert scaled.rows["tax"] == ExperimentConfig().rows["tax"] // 2
+
+    def test_scaled_and_restricted(self):
+        config = ExperimentConfig().scaled(0.5).restricted(("tax",))
+        assert config.datasets == ("tax",)
+        assert config.rows["tax"] == 100
+
+    def test_dataset_generation(self, tiny):
+        dataset = tiny.dataset("tax")
+        assert dataset.n_rows == tiny.rows["tax"]
+
+
+class TestExperimentSchemas:
+    def test_table4(self, tiny):
+        rows = table4_statistics(tiny)
+        assert [row["dataset"] for row in rows] == list(tiny.datasets)
+
+    def test_figure6(self, tiny):
+        rows = figure6_enum_vs_searchmc(tiny)
+        assert all(row["adcenum_dcs"] == row["searchmc_dcs"] for row in rows)
+        assert all(row["adcenum_seconds"] > 0 for row in rows)
+
+    def test_figure7(self, tiny):
+        rows = figure7_total_runtime(tiny)
+        assert {row["dataset"] for row in rows} == set(tiny.datasets)
+
+    def test_figure8(self, tiny):
+        rows = figure8_approx_functions(tiny)
+        assert len(rows) == len(tiny.datasets) * 3
+
+    def test_figure9_and_12(self, tiny):
+        config = tiny.restricted(("tax",))
+        rows9 = figure9_sample_sizes(config)
+        rows12 = figure12_miner_sample_sizes(config)
+        assert len(rows9) == len(rows12) == 5
+
+    def test_figure10(self, tiny):
+        rows = figure10_selection_strategy(tiny)
+        assert all("max_intersection_seconds" in row for row in rows)
+
+    def test_figure11(self, tiny):
+        config = tiny.restricted(("tax",))
+        rows = figure11_sampling_quality(config, sample_fractions=(0.5,), thresholds=(0.1,))
+        assert {row["sweep"] for row in rows} == {"sample", "threshold"}
+        assert all(0.0 <= row["f1_score"] <= 1.0 for row in rows)
+
+    def test_figure13(self, tiny):
+        rows = figure13_estimator_gap(tiny.restricted(("tax",)), sample_fractions=(0.5, 0.8))
+        assert all(row["avg_epsilon_minus_phat"] >= 0 for row in rows)
+
+    def test_figure14(self, tiny):
+        rows = figure14_grecall(tiny.restricted(("tax",)), thresholds=(1e-3, 1e-1), functions=("f1",))
+        assert all(0.0 <= row["g_recall"] <= 1.0 for row in rows)
+
+    def test_table5(self, tiny):
+        rows = table5_qualitative(tiny.restricted(("tax",)))
+        assert all("approximate_dc" in row and "valid_dc" in row for row in rows)

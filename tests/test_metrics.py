@@ -1,0 +1,110 @@
+"""Tests for the evaluation metrics and reporting helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.metrics import (
+    compare_dc_sets,
+    dataset_statistics,
+    f1_score,
+    g_recall,
+    precision_recall_f1,
+    recovered_golden,
+)
+from repro.analysis.reporting import format_series, format_table
+from repro.core.dc import DenialConstraint
+from repro.core.operators import Operator
+from repro.core.predicates import same_column_predicate
+from repro.data.datasets import generate_adult
+
+
+def _dc(*columns_ops):
+    return DenialConstraint([same_column_predicate(col, op) for col, op in columns_ops])
+
+
+ZIP_STATE = _dc(("Zip", Operator.EQ), ("State", Operator.NE))
+ZIP_CITY = _dc(("Zip", Operator.EQ), ("City", Operator.NE))
+NAME_KEY = _dc(("Name", Operator.EQ))
+
+
+class TestDCSetComparison:
+    def test_identical_sets(self):
+        comparison = compare_dc_sets([ZIP_STATE, ZIP_CITY], [ZIP_CITY, ZIP_STATE])
+        assert comparison.precision == 1.0
+        assert comparison.recall == 1.0
+        assert comparison.f1 == 1.0
+
+    def test_partial_overlap(self):
+        precision, recall, f1 = precision_recall_f1([ZIP_STATE, NAME_KEY], [ZIP_STATE, ZIP_CITY])
+        assert precision == 0.5
+        assert recall == 0.5
+        assert f1 == 0.5
+
+    def test_empty_discovered(self):
+        comparison = compare_dc_sets([], [ZIP_STATE])
+        assert comparison.precision == 0.0
+        assert comparison.recall == 0.0
+        assert comparison.f1 == 0.0
+
+    def test_redundant_predicates_do_not_matter(self):
+        redundant = DenialConstraint([
+            same_column_predicate("Zip", Operator.EQ),
+            same_column_predicate("State", Operator.NE),
+            same_column_predicate("Zip", Operator.GE),
+        ])
+        # Zip >= is implied by Zip ==, so the two constraints are the same.
+        assert f1_score([redundant], [ZIP_STATE]) == 1.0
+
+
+class TestGRecall:
+    def test_exact_match_counts(self):
+        assert g_recall([ZIP_STATE], [ZIP_STATE, ZIP_CITY]) == 0.5
+
+    def test_more_general_discovered_dc_counts(self):
+        specific_golden = DenialConstraint(
+            list(ZIP_STATE.predicates) + [same_column_predicate("Name", Operator.EQ)]
+        )
+        assert g_recall([ZIP_STATE], [specific_golden]) == 1.0
+
+    def test_more_specific_discovered_dc_does_not_count(self):
+        specific_discovered = DenialConstraint(
+            list(ZIP_STATE.predicates) + [same_column_predicate("Name", Operator.EQ)]
+        )
+        assert g_recall([specific_discovered], [ZIP_STATE]) == 0.0
+
+    def test_empty_golden(self):
+        assert g_recall([ZIP_STATE], []) == 0.0
+
+    def test_recovered_golden_returns_matched_rules(self):
+        matched = recovered_golden([ZIP_STATE], [ZIP_STATE, ZIP_CITY])
+        assert matched == [ZIP_STATE]
+
+
+class TestDatasetStatistics:
+    def test_table4_row(self):
+        dataset = generate_adult(n_rows=50, seed=0)
+        row = dataset_statistics(dataset)
+        assert row == {"dataset": "adult", "tuples": 50, "attributes": 8, "golden_dcs": 3}
+
+
+class TestReporting:
+    def test_format_table_alignment_and_floats(self):
+        text = format_table(
+            [{"dataset": "tax", "seconds": 1.23456}, {"dataset": "stock", "seconds": 0.5}],
+            title="runtime",
+        )
+        assert "runtime" in text
+        assert "1.2346" in text
+        assert text.index("dataset") < text.index("tax")
+
+    def test_format_table_empty(self):
+        assert "(no rows)" in format_table([], title="empty")
+
+    def test_format_series(self):
+        text = format_series(
+            {"adcenum": {0.2: 1.0, 0.4: 2.0}, "searchmc": {0.2: 3.0}},
+            x_label="sample",
+        )
+        assert "sample" in text and "adcenum" in text and "searchmc" in text
+        assert "3.0000" in text

@@ -1,0 +1,80 @@
+"""Tests for the Section 8.4 noise models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.datasets import generate_tax
+from repro.data.noise import add_concentrated_noise, add_spread_noise
+
+
+@pytest.fixture(scope="module")
+def clean_relation():
+    return generate_tax(n_rows=120, seed=2).relation
+
+
+class TestSpreadNoise:
+    def test_modification_rate_close_to_probability(self, clean_relation):
+        dirty, report = add_spread_noise(clean_relation, cell_probability=0.05, seed=1)
+        total_cells = clean_relation.n_rows * clean_relation.n_columns
+        assert 0.01 <= report.n_modified_cells / total_cells <= 0.12
+        assert dirty.n_rows == clean_relation.n_rows
+
+    def test_original_relation_unchanged(self, clean_relation):
+        before = list(clean_relation.rows())
+        add_spread_noise(clean_relation, cell_probability=0.2, seed=3)
+        assert list(clean_relation.rows()) == before
+
+    def test_reported_cells_actually_changed(self, clean_relation):
+        dirty, report = add_spread_noise(clean_relation, cell_probability=0.05, seed=4)
+        changed = 0
+        for row, column in report.modified_cells:
+            if dirty.value(row, column) != clean_relation.value(row, column):
+                changed += 1
+        # Domain swaps always change the value; typos on numeric columns may
+        # occasionally round-trip, so allow a small tolerance.
+        assert changed >= 0.9 * report.n_modified_cells
+
+    def test_swap_and_typo_split(self, clean_relation):
+        _, report = add_spread_noise(clean_relation, cell_probability=0.2, seed=5)
+        assert report.swap_count + report.typo_count == report.n_modified_cells
+        assert report.swap_count > 0
+        assert report.typo_count > 0
+
+    def test_deterministic_with_seed(self, clean_relation):
+        first, _ = add_spread_noise(clean_relation, 0.05, seed=9)
+        second, _ = add_spread_noise(clean_relation, 0.05, seed=9)
+        assert list(first.rows()) == list(second.rows())
+
+    def test_invalid_probability_rejected(self, clean_relation):
+        with pytest.raises(ValueError):
+            add_spread_noise(clean_relation, cell_probability=1.5)
+
+
+class TestConcentratedNoise:
+    def test_errors_concentrated_in_few_tuples(self, clean_relation):
+        dirty, report = add_concentrated_noise(
+            clean_relation, tuple_probability=0.05, cells_per_tuple=3, seed=1
+        )
+        assert report.n_modified_tuples <= 0.15 * clean_relation.n_rows
+        assert report.n_modified_cells == pytest.approx(3 * report.n_modified_tuples)
+        assert dirty.n_rows == clean_relation.n_rows
+
+    def test_more_cells_per_tuple_than_spread(self, clean_relation):
+        _, concentrated = add_concentrated_noise(clean_relation, 0.05, cells_per_tuple=4, seed=2)
+        if concentrated.n_modified_tuples:
+            cells_per_tuple = concentrated.n_modified_cells / concentrated.n_modified_tuples
+            assert cells_per_tuple == pytest.approx(4.0)
+
+    def test_golden_dcs_become_approximate_not_exact(self):
+        dataset = generate_tax(n_rows=120, seed=2)
+        dirty, report = add_concentrated_noise(dataset.relation, 0.05, seed=3)
+        assert report.n_modified_tuples > 0
+        violated = sum(
+            1 for constraint in dataset.golden if constraint.violation_count(dirty) > 0
+        )
+        assert violated > 0
+
+    def test_invalid_probability_rejected(self, clean_relation):
+        with pytest.raises(ValueError):
+            add_concentrated_noise(clean_relation, tuple_probability=-0.1)

@@ -1,0 +1,67 @@
+"""Tests for position list indexes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.pli import build_all_plis, build_pli, shared_value_fraction
+from repro.data.relation import Relation, running_example
+
+
+@pytest.fixture(scope="module")
+def relation() -> Relation:
+    return running_example()
+
+
+class TestBuildPli:
+    def test_clusters_partition_all_rows(self, relation):
+        pli = build_pli(relation, "State")
+        assert pli.n_rows == relation.n_rows
+        assert pli.n_clusters == 3
+
+    def test_cluster_of_value(self, relation):
+        pli = build_pli(relation, "State")
+        assert set(pli.cluster_of("IL").tolist()) == {13, 14}
+        assert pli.cluster_of("ZZ").size == 0
+
+    def test_stripped_partition_drops_singletons(self, relation):
+        pli = build_pli(relation, "Zip")
+        stripped = pli.stripped()
+        assert all(len(cluster) >= 2 for cluster in stripped)
+
+    def test_equal_pair_count_matches_definition(self, relation):
+        pli = build_pli(relation, "State")
+        # 5 NY tuples, 8 WA tuples, 2 IL tuples.
+        assert pli.equal_pair_count() == 5 * 4 + 8 * 7 + 2 * 1
+
+    def test_row_to_cluster_mapping(self, relation):
+        pli = build_pli(relation, "State")
+        mapping = pli.row_to_cluster()
+        assert mapping[0] == mapping[1]  # both NY
+        assert mapping[0] != mapping[5]  # NY vs WA
+
+    def test_build_all_plis(self, relation):
+        plis = build_all_plis(relation)
+        assert set(plis) == set(relation.column_names)
+
+    def test_numeric_column(self, relation):
+        pli = build_pli(relation, "Tax")
+        assert pli.n_rows == 15
+        assert any(len(cluster) == 2 for cluster in pli.clusters)  # the two 5K taxes
+
+
+class TestSharedValueFraction:
+    def test_identical_columns_share_everything(self):
+        relation = Relation("r", {"a": [1, 2, 3], "b": [1, 2, 3]})
+        assert shared_value_fraction(relation, "a", "b") == 1.0
+
+    def test_disjoint_columns_share_nothing(self):
+        relation = Relation("r", {"a": [1, 2, 3], "b": [4, 5, 6]})
+        assert shared_value_fraction(relation, "a", "b") == 0.0
+
+    def test_subset_domain_counts_against_smaller_side(self):
+        relation = Relation("r", {"a": [1, 1, 2, 2], "b": [1, 2, 3, 4]})
+        assert shared_value_fraction(relation, "a", "b") == 1.0
+
+    def test_income_and_tax_do_not_qualify(self, relation):
+        assert shared_value_fraction(relation, "Income", "Tax") < 0.3

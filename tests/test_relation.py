@@ -1,0 +1,139 @@
+"""Tests for the typed relation layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.relation import Relation, running_example
+from repro.data.types import ColumnType
+
+
+@pytest.fixture
+def people() -> Relation:
+    return Relation(
+        "people",
+        {
+            "name": ["ann", "bob", "cat", "dan"],
+            "age": [30, 25, 30, 41],
+            "score": [1.5, 2.0, 2.5, 3.0],
+        },
+    )
+
+
+class TestConstruction:
+    def test_row_and_column_counts(self, people):
+        assert people.n_rows == 4
+        assert people.n_columns == 3
+        assert len(people) == 4
+
+    def test_column_types_inferred(self, people):
+        assert people.column_type("name") is ColumnType.STRING
+        assert people.column_type("age") is ColumnType.INTEGER
+        assert people.column_type("score") is ColumnType.FLOAT
+
+    def test_explicit_types_override_inference(self):
+        relation = Relation("r", {"x": [1, 2]}, types={"x": ColumnType.STRING})
+        assert relation.column_type("x") is ColumnType.STRING
+        assert relation.value(0, "x") == "1"
+
+    def test_inconsistent_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            Relation("bad", {"a": [1, 2], "b": [1]})
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(ValueError):
+            Relation("bad", {})
+
+    def test_unknown_column_raises(self, people):
+        with pytest.raises(KeyError):
+            people.column("missing")
+
+
+class TestRowAccess:
+    def test_row_returns_dict(self, people):
+        assert people.row(1) == {"name": "bob", "age": 25, "score": 2.0}
+
+    def test_row_out_of_range(self, people):
+        with pytest.raises(IndexError):
+            people.row(10)
+
+    def test_rows_iterates_all(self, people):
+        assert len(list(people.rows())) == 4
+
+    def test_value(self, people):
+        assert people.value(2, "name") == "cat"
+
+
+class TestDerivedRelations:
+    def test_project(self, people):
+        projected = people.project(["name", "age"])
+        assert projected.column_names == ["name", "age"]
+        assert projected.n_rows == 4
+
+    def test_take_preserves_order(self, people):
+        taken = people.take([2, 0])
+        assert taken.value(0, "name") == "cat"
+        assert taken.value(1, "name") == "ann"
+
+    def test_head(self, people):
+        assert people.head(2).n_rows == 2
+
+    def test_sample_fraction_one_returns_same_object(self, people):
+        assert people.sample(1.0) is people
+
+    def test_sample_is_deterministic_with_seed(self, people):
+        first = people.sample(0.5, seed=3)
+        second = people.sample(0.5, seed=3)
+        assert [r for r in first.rows()] == [r for r in second.rows()]
+
+    def test_sample_rejects_non_positive_fraction(self, people):
+        with pytest.raises(ValueError):
+            people.sample(0.0)
+
+    def test_copy_is_independent(self, people):
+        copy = people.copy()
+        copy.column("age").values[0] = 99
+        assert people.value(0, "age") == 30
+
+    def test_with_values_replaces_column(self, people):
+        new_ages = people.column("age").values.copy()
+        new_ages[0] = 99
+        updated = people.with_values("age", new_ages)
+        assert updated.value(0, "age") == 99
+        assert people.value(0, "age") == 30
+
+
+class TestIO:
+    def test_csv_round_trip(self, tmp_path, people):
+        path = tmp_path / "people.csv"
+        people.to_csv(path)
+        loaded = Relation.from_csv(path)
+        assert loaded.n_rows == people.n_rows
+        assert loaded.column_names == people.column_names
+        assert loaded.column_type("age") is ColumnType.INTEGER
+
+    def test_from_records(self):
+        relation = Relation.from_records("r", [{"a": 1, "b": "x"}, {"a": 2, "b": "y"}])
+        assert relation.n_rows == 2
+        assert relation.column_type("a") is ColumnType.INTEGER
+
+    def test_from_records_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Relation.from_records("r", [])
+
+
+class TestRunningExample:
+    def test_shape_matches_table_1(self):
+        relation = running_example()
+        assert relation.n_rows == 15
+        assert relation.column_names == ["Name", "State", "Zip", "Income", "Tax"]
+
+    def test_types(self):
+        relation = running_example()
+        assert relation.column_type("State") is ColumnType.STRING
+        assert relation.column_type("Income") is ColumnType.INTEGER
+
+    def test_describe_mentions_all_columns(self):
+        text = running_example().describe()
+        for column in ["Name", "State", "Zip", "Income", "Tax"]:
+            assert column in text

@@ -1,0 +1,86 @@
+"""Tests for the column type model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.types import ColumnType, coerce_values, infer_column_type, infer_value_type
+
+
+class TestInferValueType:
+    def test_integer(self):
+        assert infer_value_type(7) is ColumnType.INTEGER
+
+    def test_bool_is_integer(self):
+        assert infer_value_type(True) is ColumnType.INTEGER
+
+    def test_float(self):
+        assert infer_value_type(3.5) is ColumnType.FLOAT
+
+    def test_plain_string(self):
+        assert infer_value_type("hello") is ColumnType.STRING
+
+    def test_numeric_string_integer(self):
+        assert infer_value_type("42") is ColumnType.INTEGER
+
+    def test_numeric_string_float(self):
+        assert infer_value_type("42.5") is ColumnType.FLOAT
+
+    def test_empty_string(self):
+        assert infer_value_type("") is ColumnType.STRING
+
+    def test_whitespace_string(self):
+        assert infer_value_type("   ") is ColumnType.STRING
+
+    def test_nan_string_is_string(self):
+        assert infer_value_type("nan") is ColumnType.STRING
+
+
+class TestInferColumnType:
+    def test_all_integers(self):
+        assert infer_column_type([1, 2, 3]) is ColumnType.INTEGER
+
+    def test_mixed_numeric_promotes_to_float(self):
+        assert infer_column_type([1, 2.5, 3]) is ColumnType.FLOAT
+
+    def test_mixed_numeric_and_string_is_string(self):
+        assert infer_column_type([1, "abc", 3]) is ColumnType.STRING
+
+    def test_all_strings(self):
+        assert infer_column_type(["a", "b"]) is ColumnType.STRING
+
+    def test_numeric_strings(self):
+        assert infer_column_type(["1", "2"]) is ColumnType.INTEGER
+
+    def test_empty_column_defaults_to_string(self):
+        assert infer_column_type([]) is ColumnType.STRING
+
+
+class TestColumnType:
+    def test_integer_is_numeric(self):
+        assert ColumnType.INTEGER.is_numeric
+
+    def test_float_is_numeric(self):
+        assert ColumnType.FLOAT.is_numeric
+
+    def test_string_is_not_numeric(self):
+        assert not ColumnType.STRING.is_numeric
+
+
+class TestCoerceValues:
+    def test_coerce_to_string(self):
+        assert coerce_values([1, "a", None], ColumnType.STRING) == ["1", "a", ""]
+
+    def test_coerce_to_integer(self):
+        assert coerce_values(["3", 4], ColumnType.INTEGER) == [3, 4]
+
+    def test_coerce_to_float(self):
+        assert coerce_values(["3", 4.5], ColumnType.FLOAT) == [3.0, 4.5]
+
+    def test_missing_integer_raises(self):
+        with pytest.raises(ValueError):
+            coerce_values([None], ColumnType.INTEGER)
+
+    def test_missing_float_becomes_nan(self):
+        result = coerce_values([None], ColumnType.FLOAT)
+        assert result[0] != result[0]  # NaN
