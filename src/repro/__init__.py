@@ -37,6 +37,7 @@ from repro.core import (
     Predicate,
     PredicateSpace,
     build_evidence_set,
+    build_evidence_set_tiled,
     build_predicate_space,
     enumerate_adcs,
     mine_adcs,
@@ -57,6 +58,7 @@ __all__ = [
     "DenialConstraint",
     "EvidenceSet",
     "build_evidence_set",
+    "build_evidence_set_tiled",
     "ApproximationFunction",
     "F1",
     "F2",

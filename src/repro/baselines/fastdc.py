@@ -74,14 +74,9 @@ class SearchMC:
         self.statistics = SearchMCStatistics()
         # Predicate-membership matrix: contains[p, e] is True when evidence e
         # satisfies predicate p (the same bit-level representation FASTDC's
-        # Java implementation uses for its coverage counting).
-        n_evidences = len(evidence.masks)
-        self._contains = np.zeros((len(evidence.space), n_evidences), dtype=bool)
-        for predicate_index in range(len(evidence.space)):
-            bit = 1 << predicate_index
-            for row, mask in enumerate(evidence.masks):
-                if mask & bit:
-                    self._contains[predicate_index, row] = True
+        # Java implementation uses for its coverage counting), unpacked
+        # straight from the evidence set's packed uint64 words.
+        self._contains = evidence.predicate_membership()
         self._counts = np.asarray(evidence.counts, dtype=np.int64)
 
     # ------------------------------------------------------------------
@@ -93,7 +88,7 @@ class SearchMC:
         started = time.perf_counter()
         covers: dict[int, float] = {}
         all_indices = list(range(len(self.evidence.space)))
-        uncovered = np.arange(len(self.evidence.masks), dtype=np.int64)
+        uncovered = np.arange(len(self.evidence), dtype=np.int64)
         self._search(0, [], all_indices, uncovered, covers)
         minimal = self._minimize(covers)
         results = self._to_adcs(minimal)

@@ -77,12 +77,9 @@ def _run_pipeline(
 
     started = time.perf_counter()
     needs_participation = function.requires_participation
-    if evidence_method == "pairwise":
-        evidence = build_evidence_set_pairwise(
-            plan.sample, space, include_participation=needs_participation
-        )
-    else:
-        evidence = build_evidence_set(plan.sample, space, include_participation=needs_participation)
+    evidence = build_evidence_set(
+        plan.sample, space, include_participation=needs_participation, method=evidence_method
+    )
     timings.evidence = time.perf_counter() - started
 
     started = time.perf_counter()
@@ -120,5 +117,5 @@ def dcfinder_mine(
     """The DCFinder pipeline: fast evidence construction + SearchMC."""
     return _run_pipeline(
         relation, function or F1(), epsilon, sample_fraction, seed,
-        "vectorized", space_config, max_cover_size,
+        "tiled", space_config, max_cover_size,
     )

@@ -19,8 +19,20 @@ from repro.core.predicate_space import (
     build_predicate_space,
 )
 from repro.core.dc import DenialConstraint, format_dc_set, minimize_dcs
-from repro.core.evidence import EvidenceSet, TupleParticipation, evidence_from_pair_masks
-from repro.core.evidence_builder import build_evidence_set, build_evidence_set_pairwise
+from repro.core.evidence import (
+    EvidenceSet,
+    TupleParticipation,
+    evidence_from_pair_masks,
+    mask_to_words,
+    masks_to_words,
+    words_to_mask,
+)
+from repro.core.evidence_builder import (
+    build_evidence_set,
+    build_evidence_set_dense,
+    build_evidence_set_pairwise,
+    build_evidence_set_tiled,
+)
 from repro.core.approximation import (
     ApproximationFunction,
     F1,
@@ -71,8 +83,13 @@ __all__ = [
     "EvidenceSet",
     "TupleParticipation",
     "evidence_from_pair_masks",
+    "mask_to_words",
+    "masks_to_words",
+    "words_to_mask",
     "build_evidence_set",
+    "build_evidence_set_dense",
     "build_evidence_set_pairwise",
+    "build_evidence_set_tiled",
     "ApproximationFunction",
     "F1",
     "F2",

@@ -22,9 +22,12 @@ The enumerated hitting set ``S`` is a set of predicates; the reported DC is
 
 The per-node work (which evidences a candidate set can still hit, how many
 candidate predicates each uncovered evidence contains, which evidences a new
-element covers) is vectorised over 64-bit evidence planes with numpy — the
-Python-level reproduction of DCFinder's bit-level engineering, without which
-the enumeration would be orders of magnitude slower.
+element covers) is vectorised directly over the evidence set's native packed
+``(n_evidences, n_words)`` uint64 words — the Python-level reproduction of
+DCFinder's bit-level engineering, without which the enumeration would be
+orders of magnitude slower.  No representation conversion happens between
+evidence construction and enumeration; only hitting-set/candidate masks are
+split into words via :func:`repro.core.evidence.mask_to_words`.
 """
 
 from __future__ import annotations
@@ -39,12 +42,10 @@ import numpy as np
 
 from repro.core.approximation import ApproximationFunction, F1
 from repro.core.dc import DenialConstraint
-from repro.core.evidence import EvidenceSet
+from repro.core.evidence import EvidenceSet, mask_to_words
 from repro.core.predicate_space import iter_bits
 
 SelectionStrategy = Literal["max", "min", "random"]
-
-_WORD_BITS = 64
 
 
 @dataclass
@@ -125,29 +126,15 @@ class ADCEnum:
     # Precomputed bit planes
     # ------------------------------------------------------------------
     def _prepare_planes(self) -> None:
-        space = self.evidence.space
-        masks = self.evidence.masks
-        self._n_evidences = len(masks)
-        self._n_words = max(1, (len(space) + _WORD_BITS - 1) // _WORD_BITS)
-        self._ev_words = np.zeros((self._n_evidences, self._n_words), dtype=np.uint64)
-        for row, mask in enumerate(masks):
-            for word in range(self._n_words):
-                self._ev_words[row, word] = (mask >> (_WORD_BITS * word)) & 0xFFFFFFFFFFFFFFFF
+        # The packed (n_evidences, n_words) uint64 array is the evidence
+        # set's native representation, so it is consumed as-is; hitting-set
+        # and candidate masks are split with the shared mask_to_words helper.
+        self._n_evidences = len(self.evidence)
+        self._n_words = self.evidence.n_words
+        self._ev_words = self.evidence.words
         self._counts = np.asarray(self.evidence.counts, dtype=np.int64)
         # contains[p] is the boolean evidence-membership vector of predicate p.
-        self._contains = np.zeros((len(space), self._n_evidences), dtype=bool)
-        for predicate_index in range(len(space)):
-            word, bit = divmod(predicate_index, _WORD_BITS)
-            self._contains[predicate_index] = (
-                self._ev_words[:, word] & np.uint64(1 << bit)
-            ) != 0
-
-    def _mask_words(self, mask: int) -> np.ndarray:
-        """Convert a Python-int predicate mask to its uint64 word vector."""
-        words = np.zeros(self._n_words, dtype=np.uint64)
-        for word in range(self._n_words):
-            words[word] = (mask >> (_WORD_BITS * word)) & 0xFFFFFFFFFFFFFFFF
-        return words
+        self._contains = self.evidence.predicate_membership()
 
     # ------------------------------------------------------------------
     # Public API
@@ -220,7 +207,7 @@ class ADCEnum:
         factor = self.function.pair_bound_factor
         if factor is not None and pair_fraction > factor * self.epsilon:
             return False
-        score = self.function.violation_score(self.evidence, uncov.tolist())
+        score = self.function.violation_score(self.evidence, uncov)
         return score <= self.epsilon
 
     def _is_minimal(
@@ -286,7 +273,7 @@ class ADCEnum:
         # this subtree, and because every approximation function here is
         # determined by the uncovered-evidence multiset, skipping it loses no
         # minimal ADC (it simply stays uncovered).
-        cand_words = self._mask_words(cand)
+        cand_words = mask_to_words(cand, self._n_words)
         overlap = (self._ev_words[uncov] & cand_words).any(axis=1)
         hittable = can_hit[uncov]
         selectable = uncov[hittable & overlap]
@@ -299,7 +286,7 @@ class ADCEnum:
         # First recursive call (lines 7-12): do NOT hit the chosen evidence.
         # ------------------------------------------------------------------
         reduced_cand = cand & ~chosen_mask
-        reduced_words = self._mask_words(reduced_cand)
+        reduced_words = mask_to_words(reduced_cand, self._n_words)
         reduced_overlap = (self._ev_words[uncov] & reduced_words).any(axis=1)
         blocked = uncov[hittable & ~reduced_overlap]
         will_cover_uncov = uncov[~reduced_overlap]
@@ -394,7 +381,7 @@ class ADCEnum:
         if constraint.is_trivial():
             return
         seen_outputs.add(s_mask)
-        score = self.function.violation_score(self.evidence, uncov.tolist())
+        score = self.function.violation_score(self.evidence, uncov)
         self.statistics.outputs += 1
         yield DiscoveredADC(constraint, s_mask, score)
 

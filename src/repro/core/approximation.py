@@ -65,6 +65,8 @@ class ApproximationFunction(abc.ABC):
         uncovered_indices:
             Indices of the distinct evidences whose pairs violate the DC,
             i.e. the evidences with empty intersection with the hitting set.
+            Any collection works, including the numpy index arrays the
+            enumerator maintains over the packed evidence words.
         """
 
     def violation_score_from_pair_fraction(
@@ -167,7 +169,12 @@ class F3Greedy(ApproximationFunction):
     ) -> float:
         if evidence.n_rows == 0:
             return 0.0
-        uncovered = list(uncovered_indices)
+        uncovered = np.asarray(
+            uncovered_indices
+            if isinstance(uncovered_indices, np.ndarray)
+            else list(uncovered_indices),
+            dtype=np.int64,
+        )
         total_violations = evidence.pair_count_of(uncovered)
         if total_violations == 0:
             return 0.0

@@ -1,4 +1,4 @@
-"""The evidence set.
+"""The evidence set, stored as packed 64-bit predicate words.
 
 For every ordered pair of distinct tuples ``(t, t')`` the *evidence*
 ``Sat(t, t')`` is the set of predicates of the predicate space satisfied by
@@ -7,10 +7,17 @@ the pair; the *evidence set* ``Evi(D)`` is the bag of all evidences
 multiplicity, because only the distinct evidences and their counts matter to
 the enumeration algorithm.
 
-Each evidence is represented as a Python integer bitmask over predicate
-indices of the :class:`~repro.core.predicate_space.PredicateSpace`, which
-makes intersection tests (the inner loop of the enumerators) single ``&``
-operations.
+The native representation is a packed ``(n_evidences, n_words)`` uint64
+array (``EvidenceSet.words``): bit ``p`` of an evidence lives at word
+``p // 64``, bit ``p % 64``.  This is the same word layout the tiled
+evidence builder produces and the one :class:`~repro.core.adc_enum.ADCEnum`
+operates on directly, so no representation changes hands anywhere in the
+pipeline.  The set-cover queries the enumerators and approximation
+functions issue (:meth:`EvidenceSet.uncovered_indices`,
+:meth:`EvidenceSet.uncovered_pair_count`,
+:meth:`EvidenceSet.restrict_to_predicates`) are all vectorised word-plane
+operations.  A compatibility view of Python-int ``masks`` is derived
+lazily for callers that still want arbitrary-precision bitmasks.
 
 The class also stores the ``vios`` structure of Figure 2: for every distinct
 evidence, the tuples participating in pairs with that evidence and how many
@@ -27,6 +34,55 @@ import numpy as np
 
 from repro.core.predicate_space import PredicateSpace, iter_bits
 from repro.core.predicates import Predicate
+
+_WORD_BITS = 64
+_WORD_MASK = 0xFFFFFFFFFFFFFFFF
+
+
+def n_words_for(n_predicates: int) -> int:
+    """Number of uint64 words needed to hold ``n_predicates`` bits."""
+    return max(1, (n_predicates + _WORD_BITS - 1) // _WORD_BITS)
+
+
+def mask_to_words(mask: int, n_words: int) -> np.ndarray:
+    """Split a Python-int predicate mask into its uint64 word vector.
+
+    This is the single mask→word helper shared by the enumerators for
+    hitting-set and candidate masks.
+    """
+    words = np.zeros(n_words, dtype=np.uint64)
+    for word in range(n_words):
+        words[word] = (mask >> (_WORD_BITS * word)) & _WORD_MASK
+    return words
+
+
+def words_to_mask(words: np.ndarray | Sequence[int]) -> int:
+    """Assemble a uint64 word vector back into a Python-int bitmask."""
+    mask = 0
+    for position, word in enumerate(np.asarray(words, dtype=np.uint64).tolist()):
+        mask |= int(word) << (_WORD_BITS * position)
+    return mask
+
+
+def masks_to_words(masks: Sequence[int], n_words: int) -> np.ndarray:
+    """Pack a sequence of Python-int bitmasks into an ``(n, n_words)`` array."""
+    packed = np.zeros((len(masks), n_words), dtype=np.uint64)
+    for row, mask in enumerate(masks):
+        for word in range(n_words):
+            packed[row, word] = (int(mask) >> (_WORD_BITS * word)) & _WORD_MASK
+    return packed
+
+
+def unique_word_rows(words: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Distinct rows of a 2-D uint64 array with inverse indices and counts."""
+    contiguous = np.ascontiguousarray(words)
+    if contiguous.shape[0] == 0:
+        return contiguous, np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64)
+    void_view = contiguous.view([("", contiguous.dtype)] * contiguous.shape[1]).ravel()
+    _, first_index, inverse, counts = np.unique(
+        void_view, return_index=True, return_inverse=True, return_counts=True
+    )
+    return contiguous[first_index], inverse.ravel(), counts
 
 
 @dataclass(frozen=True)
@@ -51,9 +107,10 @@ class EvidenceSet:
     Parameters
     ----------
     space:
-        The predicate space the evidence bitmasks index into.
+        The predicate space the evidence words/bitmasks index into.
     masks:
-        Distinct evidence bitmasks.
+        Distinct evidence bitmasks as Python ints.  Either ``masks`` or
+        ``words`` must be given; ``words`` is the native form.
     counts:
         Multiplicity of each distinct evidence (number of ordered pairs).
     n_rows:
@@ -61,23 +118,41 @@ class EvidenceSet:
     participation:
         Optional per-evidence tuple participation (the ``vios`` structure);
         required by the f2/f3 approximation functions.
+    words:
+        Packed ``(n_evidences, n_words)`` uint64 evidence words — the native
+        representation produced by the tiled and dense builders.
     """
 
     def __init__(
         self,
         space: PredicateSpace,
-        masks: Sequence[int],
-        counts: Sequence[int],
-        n_rows: int,
+        masks: Sequence[int] | None = None,
+        counts: Sequence[int] = (),
+        n_rows: int = 0,
         participation: Sequence[TupleParticipation] | None = None,
+        *,
+        words: np.ndarray | None = None,
     ) -> None:
-        if len(masks) != len(counts):
-            raise ValueError("masks and counts must have equal length")
-        if participation is not None and len(participation) != len(masks):
-            raise ValueError("participation must align with masks")
         self.space = space
-        self.masks: list[int] = list(masks)
+        self.n_words = n_words_for(len(space))
+        if words is None:
+            if masks is None:
+                raise ValueError("either masks or words must be provided")
+            self._masks: list[int] | None = [int(mask) for mask in masks]
+            self.words = masks_to_words(self._masks, self.n_words)
+        else:
+            words = np.ascontiguousarray(words, dtype=np.uint64)
+            if words.ndim != 2 or words.shape[1] != self.n_words:
+                raise ValueError(
+                    f"words must have shape (n_evidences, {self.n_words}); got {words.shape}"
+                )
+            self.words = words
+            self._masks = None
         self.counts: np.ndarray = np.asarray(counts, dtype=np.int64)
+        if len(self.words) != len(self.counts):
+            raise ValueError("masks/words and counts must have equal length")
+        if participation is not None and len(participation) != len(self.words):
+            raise ValueError("participation must align with masks")
         self.n_rows = int(n_rows)
         self._participation = list(participation) if participation is not None else None
 
@@ -85,12 +160,19 @@ class EvidenceSet:
     # Basic accessors
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self.masks)
+        return len(self.words)
 
     def __iter__(self) -> Iterator[tuple[int, int]]:
         """Iterate over ``(mask, count)`` pairs."""
         for mask, count in zip(self.masks, self.counts):
             yield mask, int(count)
+
+    @property
+    def masks(self) -> list[int]:
+        """Python-int view of the evidence words (derived lazily, cached)."""
+        if self._masks is None:
+            self._masks = [words_to_mask(row) for row in self.words]
+        return self._masks
 
     @property
     def total_pairs(self) -> int:
@@ -120,30 +202,52 @@ class EvidenceSet:
         """Predicates satisfied by the pairs of one distinct evidence."""
         return self.space.predicates_of(self.masks[evidence_index])
 
+    def predicate_membership(self) -> np.ndarray:
+        """Boolean ``(n_predicates, n_evidences)`` membership matrix.
+
+        ``result[p, e]`` is True when evidence ``e`` satisfies predicate
+        ``p``.  Both enumerators precompute this matrix to answer "which
+        uncovered evidences does this predicate hit" with one fancy index.
+        """
+        n_predicates = len(self.space)
+        contains = np.zeros((n_predicates, len(self)), dtype=bool)
+        shifts = np.arange(_WORD_BITS, dtype=np.uint64)[:, None]
+        for word in range(self.n_words):
+            bits = ((self.words[:, word][None, :] >> shifts) & np.uint64(1)) != 0
+            low = word * _WORD_BITS
+            high = min(low + _WORD_BITS, n_predicates)
+            if high <= low:
+                break
+            contains[low:high] = bits[: high - low]
+        return contains
+
     # ------------------------------------------------------------------
-    # Queries used by the approximation functions and tests
+    # Queries used by the enumerators, approximation functions and tests
     # ------------------------------------------------------------------
+    def _unhit(self, hitting_mask: int) -> np.ndarray:
+        """Boolean vector of evidences with empty intersection with the mask."""
+        hitting_words = mask_to_words(hitting_mask, self.n_words)
+        return ~(self.words & hitting_words).any(axis=1)
+
     def uncovered_indices(self, hitting_mask: int) -> list[int]:
         """Indices of evidences with empty intersection with ``hitting_mask``.
 
         In DC terms these are the evidences of the pairs *violating* the DC
         whose complement-predicate set is ``hitting_mask``.
         """
-        return [index for index, mask in enumerate(self.masks) if mask & hitting_mask == 0]
+        return np.flatnonzero(self._unhit(hitting_mask)).tolist()
 
     def uncovered_pair_count(self, hitting_mask: int) -> int:
         """Number of pairs whose evidence is not hit by ``hitting_mask``."""
-        return int(
-            sum(
-                int(count)
-                for mask, count in zip(self.masks, self.counts)
-                if mask & hitting_mask == 0
-            )
-        )
+        return int(self.counts[self._unhit(hitting_mask)].sum())
 
     def pair_count_of(self, evidence_indices: Iterable[int]) -> int:
         """Total number of pairs over a collection of evidence indices."""
-        return int(sum(int(self.counts[index]) for index in evidence_indices))
+        indices = np.asarray(
+            evidence_indices if isinstance(evidence_indices, np.ndarray) else list(evidence_indices),
+            dtype=np.int64,
+        )
+        return int(self.counts[indices].sum())
 
     def tuples_involved(self, evidence_indices: Iterable[int]) -> set[int]:
         """Distinct tuples participating in pairs of the given evidences."""
@@ -169,17 +273,35 @@ class EvidenceSet:
     def restrict_to_predicates(self, predicate_mask: int) -> "EvidenceSet":
         """Project every evidence onto a subset of the predicate space.
 
-        Evidences that become identical after the projection are merged
-        (their multiplicities added); participation is dropped because the
-        merge makes it ambiguous.
+        Evidences that become identical after the projection are merged:
+        their multiplicities are added and, when the ``vios`` structure is
+        available, their tuple participations are merged as well (per-tuple
+        pair counts added), so f2/f3 keep working on the projected set.
         """
-        merged: dict[int, int] = {}
-        for mask, count in self:
-            key = mask & predicate_mask
-            merged[key] = merged.get(key, 0) + count
-        masks = list(merged)
-        counts = [merged[mask] for mask in masks]
-        return EvidenceSet(self.space, masks, counts, self.n_rows)
+        projection = mask_to_words(predicate_mask, self.n_words)
+        projected = self.words & projection
+        unique_words, inverse, _ = unique_word_rows(projected)
+        counts = np.zeros(len(unique_words), dtype=np.int64)
+        np.add.at(counts, inverse, self.counts)
+
+        participation: list[TupleParticipation] | None = None
+        if self._participation is not None:
+            participation = []
+            order = np.argsort(inverse, kind="stable")
+            boundaries = np.searchsorted(inverse[order], np.arange(len(unique_words) + 1))
+            for merged in range(len(unique_words)):
+                sources = order[boundaries[merged]:boundaries[merged + 1]]
+                ids = np.concatenate([self._participation[s].tuple_ids for s in sources])
+                per_pair = np.concatenate([self._participation[s].pair_counts for s in sources])
+                merged_ids, merged_inverse = np.unique(ids, return_inverse=True)
+                merged_counts = np.zeros(len(merged_ids), dtype=np.int64)
+                np.add.at(merged_counts, merged_inverse, per_pair)
+                participation.append(TupleParticipation(merged_ids, merged_counts))
+
+        return EvidenceSet(
+            self.space, counts=counts, n_rows=self.n_rows,
+            participation=participation, words=unique_words,
+        )
 
     def describe(self, limit: int = 10) -> str:
         """Human readable summary of the evidence multiset."""

@@ -20,7 +20,7 @@ from repro.core.adc_enum import ADCEnum, DiscoveredADC, EnumerationStatistics, S
 from repro.core.approximation import ApproximationFunction, F1, get_approximation_function
 from repro.core.dc import DenialConstraint
 from repro.core.evidence import EvidenceSet
-from repro.core.evidence_builder import build_evidence_set, build_evidence_set_pairwise
+from repro.core.evidence_builder import DEFAULT_TILE_ROWS, build_evidence_set
 from repro.core.predicate_space import PredicateSpace, PredicateSpaceConfig, build_predicate_space
 from repro.core.sampling import SamplePlan, adjusted_function, draw_sample
 from repro.data.relation import Relation
@@ -106,8 +106,11 @@ class ADCMiner:
     selection:
         Evidence selection strategy of the enumerator (Figure 10 ablation).
     evidence_method:
-        ``"vectorized"`` (DCFinder-style, default) or ``"pairwise"``
-        (AFASTDC-style reference builder).
+        ``"tiled"`` (blocked word-plane builder, default), ``"dense"``
+        (full-plane oracle), or ``"pairwise"`` (AFASTDC-style reference
+        builder).  ``"vectorized"`` is a legacy alias of ``"tiled"``.
+    tile_rows:
+        Tile edge length of the tiled evidence builder.
     max_dc_size:
         Optional cap on predicates per DC.
     seed:
@@ -123,13 +126,14 @@ class ADCMiner:
         alpha: float = 0.05,
         space_config: PredicateSpaceConfig | None = None,
         selection: SelectionStrategy = "max",
-        evidence_method: str = "vectorized",
+        evidence_method: str = "tiled",
+        tile_rows: int = DEFAULT_TILE_ROWS,
         max_dc_size: int | None = None,
         seed: int | None = None,
     ) -> None:
         if isinstance(function, str):
             function = get_approximation_function(function)
-        if evidence_method not in ("vectorized", "pairwise"):
+        if evidence_method not in ("tiled", "vectorized", "dense", "pairwise"):
             raise ValueError(f"unknown evidence method {evidence_method!r}")
         self.function = function
         self.epsilon = float(epsilon)
@@ -139,6 +143,7 @@ class ADCMiner:
         self.space_config = space_config or PredicateSpaceConfig()
         self.selection: SelectionStrategy = selection
         self.evidence_method = evidence_method
+        self.tile_rows = int(tile_rows)
         self.max_dc_size = max_dc_size
         self.seed = seed
 
@@ -156,12 +161,13 @@ class ADCMiner:
 
         started = time.perf_counter()
         needs_participation = self.function.requires_participation
-        if self.evidence_method == "vectorized":
-            evidence = build_evidence_set(plan.sample, space, include_participation=needs_participation)
-        else:
-            evidence = build_evidence_set_pairwise(
-                plan.sample, space, include_participation=needs_participation
-            )
+        evidence = build_evidence_set(
+            plan.sample,
+            space,
+            include_participation=needs_participation,
+            method=self.evidence_method,
+            tile_rows=self.tile_rows,
+        )
         timings.evidence = time.perf_counter() - started
 
         function = self.function

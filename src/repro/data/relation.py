@@ -83,6 +83,11 @@ class Relation:
                 array = np.asarray(coerced, dtype=object)
             self._columns[column_name] = Column(column_name, column_type, array)
         self._n_rows = lengths.pop() if lengths else 0
+        # Per-column string factorization cache (see string_codes): maps a
+        # column name to its (sorted unique strings, per-row codes) pair, and
+        # an ordered column pair to its jointly comparable code arrays.
+        self._factorization_cache: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+        self._pair_codes_cache: dict[tuple[str, str], tuple[np.ndarray, np.ndarray]] = {}
 
     # ------------------------------------------------------------------
     # Schema and size
@@ -142,6 +147,47 @@ class Relation:
     def value(self, index: int, column: str) -> object:
         """Value of ``column`` in row ``index``."""
         return self.column(column).values[index]
+
+    # ------------------------------------------------------------------
+    # Cached string factorization (evidence-builder support)
+    # ------------------------------------------------------------------
+    def _column_factorization(self, name: str) -> tuple[np.ndarray, np.ndarray]:
+        """Sorted unique strings of a column and the per-row codes into them.
+
+        Computed once per column and cached for the relation's lifetime;
+        every predicate group over the column reuses it on every evidence
+        build instead of re-running ``np.unique`` string factorization.
+        """
+        cached = self._factorization_cache.get(name)
+        if cached is None:
+            values = np.asarray([str(v) for v in self.column(name).values.tolist()])
+            uniques, codes = np.unique(values, return_inverse=True)
+            cached = (uniques, codes.ravel().astype(np.int64))
+            self._factorization_cache[name] = cached
+        return cached
+
+    def string_codes(self, left: str, right: str) -> tuple[np.ndarray, np.ndarray]:
+        """Jointly comparable integer codes for two (string) columns.
+
+        Equal codes mean equal string values *across* the two columns.  For a
+        single column this is its cached factorization; for a pair of
+        distinct columns the two per-column factorizations are aligned on a
+        merged vocabulary (work proportional to the number of distinct
+        values, not the number of rows).
+        """
+        left_uniques, left_codes = self._column_factorization(left)
+        if left == right:
+            return left_codes, left_codes
+        cached = self._pair_codes_cache.get((left, right))
+        if cached is None:
+            right_uniques, right_codes = self._column_factorization(right)
+            vocabulary = np.unique(np.concatenate([left_uniques, right_uniques]))
+            cached = (
+                np.searchsorted(vocabulary, left_uniques)[left_codes],
+                np.searchsorted(vocabulary, right_uniques)[right_codes],
+            )
+            self._pair_codes_cache[(left, right)] = cached
+        return cached
 
     # ------------------------------------------------------------------
     # Derived relations
