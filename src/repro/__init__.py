@@ -34,11 +34,16 @@ from repro.core import (
     F3Greedy,
     MiningResult,
     Operator,
+    PartialEvidenceSet,
     Predicate,
     PredicateSpace,
+    TileKernel,
+    TileScheduler,
     build_evidence_set,
+    build_evidence_set_parallel,
     build_evidence_set_tiled,
     build_predicate_space,
+    choose_tile_rows,
     enumerate_adcs,
     mine_adcs,
 )
@@ -59,6 +64,11 @@ __all__ = [
     "EvidenceSet",
     "build_evidence_set",
     "build_evidence_set_tiled",
+    "build_evidence_set_parallel",
+    "TileScheduler",
+    "TileKernel",
+    "PartialEvidenceSet",
+    "choose_tile_rows",
     "ApproximationFunction",
     "F1",
     "F2",

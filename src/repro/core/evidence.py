@@ -73,8 +73,27 @@ def masks_to_words(masks: Sequence[int], n_words: int) -> np.ndarray:
     return packed
 
 
+def lexsort_word_rows(words: np.ndarray) -> np.ndarray:
+    """Permutation sorting word rows lexicographically (word 0 primary).
+
+    This is the canonical evidence order: every builder emits its distinct
+    evidences in this order, which makes results reproducible and lets the
+    parallel engine merge partial evidence sets in any order while still
+    finalizing to a bit-identical :class:`EvidenceSet`.
+    """
+    if len(words) == 0:
+        return np.zeros(0, dtype=np.int64)
+    keys = tuple(words[:, word] for word in range(words.shape[1] - 1, -1, -1))
+    return np.lexsort(keys)
+
+
 def unique_word_rows(words: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Distinct rows of a 2-D uint64 array with inverse indices and counts."""
+    """Distinct rows of a 2-D uint64 array with inverse indices and counts.
+
+    Rows are returned in the canonical lexicographic order of
+    :func:`lexsort_word_rows` (not ``np.unique``'s byte order, which would
+    depend on the platform's endianness).
+    """
     contiguous = np.ascontiguousarray(words)
     if contiguous.shape[0] == 0:
         return contiguous, np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64)
@@ -82,7 +101,11 @@ def unique_word_rows(words: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndar
     _, first_index, inverse, counts = np.unique(
         void_view, return_index=True, return_inverse=True, return_counts=True
     )
-    return contiguous[first_index], inverse.ravel(), counts
+    rows = contiguous[first_index]
+    order = lexsort_word_rows(rows)
+    rank = np.empty(len(rows), dtype=np.int64)
+    rank[order] = np.arange(len(rows), dtype=np.int64)
+    return rows[order], rank[inverse.ravel()], counts[order]
 
 
 @dataclass(frozen=True)
@@ -329,6 +352,8 @@ def evidence_from_pair_masks(
     ``pair_tuples`` optionally provides, for every mask, the ordered pair of
     row indices it came from, enabling the tuple-participation structure.
     This constructor is used by the naive pairwise builder and by tests.
+    Evidences are emitted in the canonical lexicographic word order (word 0
+    primary), matching the word-plane builders bit for bit.
     """
     pair_masks = list(pair_masks)
     counts: dict[int, int] = {}
@@ -343,7 +368,13 @@ def evidence_from_pair_masks(
             per_tuple = tuple_counts.setdefault(mask, {})
             per_tuple[i] = per_tuple.get(i, 0) + 1
             per_tuple[j] = per_tuple.get(j, 0) + 1
-    masks = list(counts)
+    n_words = n_words_for(len(space))
+    masks = sorted(
+        counts,
+        key=lambda mask: tuple(
+            (mask >> (_WORD_BITS * word)) & _WORD_MASK for word in range(n_words)
+        ),
+    )
     participation = None
     if pairs is not None:
         participation = []

@@ -1,19 +1,20 @@
 """Evidence-set construction over packed 64-bit predicate words.
 
-Three builders are provided, all producing the packed
+Four builders are provided, all producing the packed
 ``(n_evidences, n_words)`` uint64 representation natively (no Python-int
 round-trip anywhere):
 
-* :func:`build_evidence_set_tiled` — the default builder.  It streams over
-  ``tile_rows x tile_rows`` blocks of the ordered-pair matrix: for every
-  tile it computes per-group order categories and per-pair word planes with
-  numpy broadcasting, deduplicates the tile's evidences against a running
-  dictionary keyed on word bytes, and accumulates multiplicities and
-  CSR-style tuple participation incrementally.  Peak memory is
+* :func:`build_evidence_set_tiled` — the default builder.  It runs the
+  engine's picklable :class:`~repro.engine.kernel.TileKernel` serially over
+  the :class:`~repro.engine.scheduler.TileScheduler`'s row-tile schedule,
+  folding every tile's distinct evidences into a
+  :class:`~repro.engine.partial.PartialEvidenceSet`.  Peak memory is
   ``O(n_words * tile_rows^2)`` instead of the dense builder's
-  ``O(n_words * n^2)``, while each tile stays fully vectorised — the
-  bit-level strategy of DCFinder [37] restructured for bounded memory (and
-  for an optional parallel tile map later).
+  ``O(n_words * n^2)``; the tile edge is chosen adaptively from a memory
+  budget when not given (:func:`repro.engine.scheduler.choose_tile_rows`).
+* :func:`repro.engine.parallel.build_evidence_set_parallel`
+  (``method="parallel"``) — the same kernel and schedule fanned out over a
+  process pool; bit-identical to the tiled builder by construction.
 * :func:`build_evidence_set_dense` — the original dense builder
   materialising full ``n x n`` category matrices and word planes.  Retained
   behind a flag as a correctness oracle and for benchmarking.
@@ -21,35 +22,33 @@ round-trip anywhere):
   FASTDC/AFASTDC [11], kept both as a correctness oracle for tests and as
   the evidence-construction baseline timed in Figures 7 and 8.
 
-:func:`build_evidence_set` dispatches between them by ``method`` and is
-what the pipeline entry points call.
+All builders emit evidences in the canonical lexicographic word order of
+:func:`repro.core.evidence.lexsort_word_rows`, so their outputs are
+bit-identical (words, multiplicities, participation), not merely equal as
+multisets.  :func:`build_evidence_set` dispatches between them by
+``method`` and is what the pipeline entry points call.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.core.operators import (
-    SATISFIED_BY_CATEGORY,
-    SATISFIED_BY_CATEGORY_STRING,
-    OrderCategory,
-)
 from repro.core.evidence import (
     EvidenceSet,
-    TupleParticipation,
     evidence_from_pair_masks,
     n_words_for,
     unique_word_rows,
 )
 from repro.core.predicate_space import PredicateSpace
-from repro.core.predicates import PredicateForm
 from repro.data.relation import Relation
-from repro.data.types import ColumnType
+from repro.engine.kernel import prepare_groups
+from repro.engine.parallel import build_evidence_set_parallel
+from repro.engine.partial import split_participation
+from repro.engine.scheduler import DEFAULT_MEMORY_BUDGET_BYTES
 
-_WORD_BITS = 64
-
-#: Default edge length of the row tiles streamed by the tiled builder.
-DEFAULT_TILE_ROWS = 256
+#: All evidence construction methods accepted by :func:`build_evidence_set`
+#: (``"vectorized"`` is a legacy alias of ``"tiled"``).
+EVIDENCE_METHODS = ("tiled", "vectorized", "parallel", "dense", "pairwise")
 
 
 def build_evidence_set(
@@ -57,7 +56,9 @@ def build_evidence_set(
     space: PredicateSpace,
     include_participation: bool = True,
     method: str = "tiled",
-    tile_rows: int = DEFAULT_TILE_ROWS,
+    tile_rows: int | None = None,
+    n_workers: int | None = None,
+    memory_budget_bytes: int = DEFAULT_MEMORY_BUDGET_BYTES,
 ) -> EvidenceSet:
     """Build ``Evi(D)``, dispatching to the requested builder.
 
@@ -72,15 +73,35 @@ def build_evidence_set(
         Whether to also build the per-evidence tuple-participation structure
         (needed by the f2/f3 approximation functions; costs one extra pass).
     method:
-        ``"tiled"`` (default), ``"dense"`` (the full-plane oracle) or
-        ``"pairwise"`` (the naive AFASTDC-style oracle).  ``"vectorized"``
-        is accepted as a legacy alias of ``"tiled"``.
+        ``"tiled"`` (default), ``"parallel"`` (process-pool tile engine),
+        ``"dense"`` (the full-plane oracle) or ``"pairwise"`` (the naive
+        AFASTDC-style oracle).  ``"vectorized"`` is accepted as a legacy
+        alias of ``"tiled"``.
     tile_rows:
-        Tile edge length of the tiled builder (ignored by the others).
+        Tile edge length of the tiled/parallel builders; ``None`` (default)
+        selects it adaptively from the memory budget.
+    n_workers:
+        Worker processes of the parallel builder (``None`` uses all CPUs);
+        ignored by the other methods.
+    memory_budget_bytes:
+        Transient-memory budget driving the adaptive tile size.
     """
     if method in ("tiled", "vectorized"):
         return build_evidence_set_tiled(
-            relation, space, include_participation=include_participation, tile_rows=tile_rows
+            relation,
+            space,
+            include_participation=include_participation,
+            tile_rows=tile_rows,
+            memory_budget_bytes=memory_budget_bytes,
+        )
+    if method == "parallel":
+        return build_evidence_set_parallel(
+            relation,
+            space,
+            include_participation=include_participation,
+            tile_rows=tile_rows,
+            n_workers=n_workers,
+            memory_budget_bytes=memory_budget_bytes,
         )
     if method == "dense":
         return build_evidence_set_dense(
@@ -97,88 +118,28 @@ def build_evidence_set_tiled(
     relation: Relation,
     space: PredicateSpace,
     include_participation: bool = True,
-    tile_rows: int = DEFAULT_TILE_ROWS,
+    tile_rows: int | None = None,
+    memory_budget_bytes: int = DEFAULT_MEMORY_BUDGET_BYTES,
 ) -> EvidenceSet:
     """Build ``Evi(D)`` by streaming over row-tile pairs (the default).
 
     The ordered-pair matrix is processed in ``tile_rows x tile_rows``
-    blocks.  Every block computes its word plane with the same broadcasting
-    as the dense builder restricted to the block's rows/columns, then folds
-    its distinct evidences into a running ``word-bytes -> evidence id``
-    dictionary, so no ``n x n`` array is ever allocated.
+    blocks (:class:`~repro.engine.scheduler.TileScheduler`); every block is
+    evaluated by the engine's :class:`~repro.engine.kernel.TileKernel` with
+    the same broadcasting as the dense builder restricted to the block's
+    rows/columns, then folded into a running
+    :class:`~repro.engine.partial.PartialEvidenceSet`, so no ``n x n``
+    array is ever allocated.  When ``tile_rows`` is ``None`` the edge is
+    chosen adaptively so one kernel fits ``memory_budget_bytes``.
     """
-    if tile_rows < 1:
-        raise ValueError("tile_rows must be positive")
-    n = relation.n_rows
-    if n < 2:
-        return EvidenceSet(space, [], [], n, [] if include_participation else None)
-
-    n_words = n_words_for(len(space))
-    groups = _prepare_groups(relation, space)
-
-    evidence_ids: dict[bytes, int] = {}
-    word_rows: list[np.ndarray] = []
-    count_chunks: list[np.ndarray] = []  # (global ids, per-tile counts) pairs
-    id_chunks: list[np.ndarray] = []
-    part_key_chunks: list[np.ndarray] = []
-    part_count_chunks: list[np.ndarray] = []
-
-    for i0 in range(0, n, tile_rows):
-        i1 = min(i0 + tile_rows, n)
-        for j0 in range(0, n, tile_rows):
-            j1 = min(j0 + tile_rows, n)
-            plane = np.zeros((i1 - i0, j1 - j0, n_words), dtype=np.uint64)
-            for group in groups:
-                categories = group.tile_categories(i0, i1, j0, j1)
-                plane |= group.lookup[categories]
-
-            flat = plane.reshape(-1, n_words)
-            left_ids = np.repeat(np.arange(i0, i1, dtype=np.int64), j1 - j0)
-            right_ids = np.tile(np.arange(j0, j1, dtype=np.int64), i1 - i0)
-            keep = left_ids != right_ids
-            if not keep.all():
-                flat = flat[keep]
-                left_ids = left_ids[keep]
-                right_ids = right_ids[keep]
-            if not len(flat):
-                continue
-
-            unique_words, inverse, tile_counts = unique_word_rows(flat)
-            local_to_global = np.empty(len(unique_words), dtype=np.int64)
-            for local, row in enumerate(unique_words):
-                key = row.tobytes()
-                global_id = evidence_ids.get(key)
-                if global_id is None:
-                    global_id = len(evidence_ids)
-                    evidence_ids[key] = global_id
-                    # copy: appending the view would pin the whole per-tile
-                    # unique array, defeating the O(tile^2) memory bound.
-                    word_rows.append(row.copy())
-                local_to_global[local] = global_id
-            id_chunks.append(local_to_global)
-            count_chunks.append(tile_counts)
-
-            if include_participation:
-                pair_ids = local_to_global[inverse]
-                keys = np.concatenate([pair_ids * n + left_ids, pair_ids * n + right_ids])
-                tile_keys, tile_key_counts = np.unique(keys, return_counts=True)
-                part_key_chunks.append(tile_keys)
-                part_count_chunks.append(tile_key_counts)
-
-    n_evidences = len(evidence_ids)
-    words = (
-        np.vstack(word_rows) if word_rows else np.zeros((0, n_words), dtype=np.uint64)
+    return build_evidence_set_parallel(
+        relation,
+        space,
+        include_participation=include_participation,
+        tile_rows=tile_rows,
+        n_workers=1,
+        memory_budget_bytes=memory_budget_bytes,
     )
-    counts = np.zeros(n_evidences, dtype=np.int64)
-    for global_ids, tile_counts in zip(id_chunks, count_chunks):
-        np.add.at(counts, global_ids, tile_counts)
-
-    participation = None
-    if include_participation:
-        participation = _participation_from_key_chunks(
-            part_key_chunks, part_count_chunks, n, n_evidences
-        )
-    return EvidenceSet(space, counts=counts, n_rows=n, participation=participation, words=words)
 
 
 def build_evidence_set_dense(
@@ -198,7 +159,7 @@ def build_evidence_set_dense(
         return EvidenceSet(space, [], [], n, [] if include_participation else None)
 
     n_words = n_words_for(len(space))
-    groups = _prepare_groups(relation, space)
+    groups = prepare_groups(relation, space)
     plane = np.zeros((n, n, n_words), dtype=np.uint64)
     for group in groups:
         categories = group.tile_categories(0, n, 0, n)
@@ -250,133 +211,12 @@ def build_evidence_set_pairwise(
     )
 
 
-# ----------------------------------------------------------------------
-# Internals shared by the tiled and dense builders
-# ----------------------------------------------------------------------
-class _PreparedGroup:
-    """One predicate group with its comparison data resolved up front.
-
-    ``tile_categories(i0, i1, j0, j1)`` returns the
-    :class:`OrderCategory` matrix of the ordered pairs
-    ``(t_i, t_j), i in [i0, i1), j in [j0, j1)`` — the per-tile slice of
-    the dense builder's category matrix, computed without materialising it.
-    """
-
-    def __init__(self, lookup: np.ndarray) -> None:
-        self.lookup = lookup
-
-    def tile_categories(self, i0: int, i1: int, j0: int, j1: int) -> np.ndarray:
-        raise NotImplementedError
-
-
-class _SingleTupleGroup(_PreparedGroup):
-    """``t[A] op t[B]``: the category depends only on the left row."""
-
-    def __init__(self, lookup: np.ndarray, per_row: np.ndarray) -> None:
-        super().__init__(lookup)
-        self.per_row = per_row
-
-    def tile_categories(self, i0: int, i1: int, j0: int, j1: int) -> np.ndarray:
-        return np.broadcast_to(self.per_row[i0:i1, None], (i1 - i0, j1 - j0))
-
-
-class _NumericPairGroup(_PreparedGroup):
-    """Numeric ``t[A] op t'[B]``: sign of the value difference."""
-
-    def __init__(self, lookup: np.ndarray, left: np.ndarray, right: np.ndarray) -> None:
-        super().__init__(lookup)
-        self.left = left
-        self.right = right
-
-    def tile_categories(self, i0: int, i1: int, j0: int, j1: int) -> np.ndarray:
-        sign = np.sign(self.left[i0:i1, None] - self.right[None, j0:j1])
-        return (sign + 1).astype(np.int8)
-
-
-class _StringPairGroup(_PreparedGroup):
-    """String ``t[A] op t'[B]``: equality of factorization codes."""
-
-    def __init__(self, lookup: np.ndarray, left_codes: np.ndarray, right_codes: np.ndarray) -> None:
-        super().__init__(lookup)
-        self.left_codes = left_codes
-        self.right_codes = right_codes
-
-    def tile_categories(self, i0: int, i1: int, j0: int, j1: int) -> np.ndarray:
-        equal = self.left_codes[i0:i1, None] == self.right_codes[None, j0:j1]
-        categories = np.full(equal.shape, OrderCategory.LESS, dtype=np.int8)
-        categories[equal] = OrderCategory.EQUAL
-        return categories
-
-
-def _prepare_groups(relation: Relation, space: PredicateSpace) -> list[_PreparedGroup]:
-    """Resolve every predicate group's comparison data and word lookup."""
-    prepared: list[_PreparedGroup] = []
-    for group in space.groups:
-        left_column, right_column, form = group.key
-        lookup = _category_masks(space, group.indices, group.numeric)
-        if not lookup.any():
-            continue
-        left = relation.column(left_column)
-        right = relation.column(right_column)
-        numeric = left.type.is_numeric and right.type.is_numeric
-
-        if form is PredicateForm.SINGLE_TUPLE:
-            per_row = _row_categories(relation, left_column, right_column, numeric)
-            prepared.append(_SingleTupleGroup(lookup, per_row))
-        elif numeric:
-            prepared.append(
-                _NumericPairGroup(
-                    lookup,
-                    left.values.astype(np.float64, copy=False),
-                    right.values.astype(np.float64, copy=False),
-                )
-            )
-        else:
-            left_codes, right_codes = relation.string_codes(left_column, right_column)
-            prepared.append(_StringPairGroup(lookup, left_codes, right_codes))
-    return prepared
-
-
-def _row_categories(
-    relation: Relation, left_column: str, right_column: str, numeric: bool
-) -> np.ndarray:
-    """Per-row order category for single-tuple predicates ``t[A] op t[B]``."""
-    left = relation.column(left_column).values
-    right = relation.column(right_column).values
-    if numeric:
-        sign = np.sign(left.astype(np.float64) - right.astype(np.float64))
-        return (sign + 1).astype(np.int8)
-    left_codes, right_codes = relation.string_codes(left_column, right_column)
-    categories = np.full(len(left_codes), OrderCategory.LESS, dtype=np.int8)
-    categories[left_codes == right_codes] = OrderCategory.EQUAL
-    return categories
-
-
-def _category_masks(space: PredicateSpace, indices: tuple[int, ...], numeric: bool) -> np.ndarray:
-    """Per-category, per-word bitmasks for one predicate group.
-
-    Returns an array of shape ``(3, n_words)`` (uint64) where entry
-    ``[category, word]`` is the OR of the bits of the group's predicates
-    satisfied in that category, restricted to that 64-bit word.
-    """
-    n_words = n_words_for(len(space))
-    table = SATISFIED_BY_CATEGORY if numeric else SATISFIED_BY_CATEGORY_STRING
-    masks = np.zeros((3, n_words), dtype=np.uint64)
-    for category in OrderCategory:
-        satisfied = table[category]
-        for index in indices:
-            if space[index].operator in satisfied:
-                word, bit = divmod(index, _WORD_BITS)
-                masks[category, word] |= np.uint64(1) << np.uint64(bit)
-    return masks
-
-
 def _build_participation(
     inverse: np.ndarray,
     row_index: np.ndarray,
     col_index: np.ndarray,
     n_evidences: int,
-) -> list[TupleParticipation]:
+):
     """Aggregate the ``vios`` structure from the per-pair evidence ids."""
     n_rows = int(max(row_index.max(), col_index.max())) + 1 if len(row_index) else 0
     evidence_ids = inverse.astype(np.int64)
@@ -385,53 +225,4 @@ def _build_participation(
         evidence_ids * n_rows + col_index.astype(np.int64),
     ])
     unique_keys, key_counts = np.unique(keys, return_counts=True)
-    return _split_participation(unique_keys, key_counts, n_rows, n_evidences)
-
-
-def _participation_from_key_chunks(
-    key_chunks: list[np.ndarray],
-    count_chunks: list[np.ndarray],
-    n_rows: int,
-    n_evidences: int,
-) -> list[TupleParticipation]:
-    """Merge per-tile ``evidence * n + tuple`` key histograms into ``vios``.
-
-    Each tile contributes pre-aggregated ``(key, count)`` pairs; keys may
-    repeat across tiles, so the chunks are re-aggregated with a sort +
-    segmented sum before being split per evidence.
-    """
-    if not key_chunks:
-        return [
-            TupleParticipation(np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64))
-            for _ in range(n_evidences)
-        ]
-    keys = np.concatenate(key_chunks)
-    counts = np.concatenate(count_chunks)
-    order = np.argsort(keys, kind="stable")
-    keys = keys[order]
-    counts = counts[order]
-    starts = np.flatnonzero(np.r_[True, keys[1:] != keys[:-1]])
-    unique_keys = keys[starts]
-    summed = np.add.reduceat(counts, starts)
-    return _split_participation(unique_keys, summed, n_rows, n_evidences)
-
-
-def _split_participation(
-    unique_keys: np.ndarray,
-    key_counts: np.ndarray,
-    n_rows: int,
-    n_evidences: int,
-) -> list[TupleParticipation]:
-    """Split sorted ``evidence * n + tuple`` keys into per-evidence rows."""
-    participation: list[TupleParticipation] = []
-    owners = unique_keys // max(n_rows, 1)
-    tuples = unique_keys % max(n_rows, 1)
-    boundaries = np.searchsorted(owners, np.arange(n_evidences + 1))
-    for evidence in range(n_evidences):
-        start, stop = boundaries[evidence], boundaries[evidence + 1]
-        participation.append(
-            TupleParticipation(
-                tuples[start:stop].copy(), key_counts[start:stop].astype(np.int64, copy=True)
-            )
-        )
-    return participation
+    return split_participation(unique_keys, key_counts, n_rows, n_evidences)

@@ -20,7 +20,7 @@ from repro.core.adc_enum import ADCEnum, DiscoveredADC, EnumerationStatistics, S
 from repro.core.approximation import ApproximationFunction, F1, get_approximation_function
 from repro.core.dc import DenialConstraint
 from repro.core.evidence import EvidenceSet
-from repro.core.evidence_builder import DEFAULT_TILE_ROWS, build_evidence_set
+from repro.core.evidence_builder import EVIDENCE_METHODS, build_evidence_set
 from repro.core.predicate_space import PredicateSpace, PredicateSpaceConfig, build_predicate_space
 from repro.core.sampling import SamplePlan, adjusted_function, draw_sample
 from repro.data.relation import Relation
@@ -106,11 +106,17 @@ class ADCMiner:
     selection:
         Evidence selection strategy of the enumerator (Figure 10 ablation).
     evidence_method:
-        ``"tiled"`` (blocked word-plane builder, default), ``"dense"``
-        (full-plane oracle), or ``"pairwise"`` (AFASTDC-style reference
-        builder).  ``"vectorized"`` is a legacy alias of ``"tiled"``.
+        ``"tiled"`` (blocked word-plane builder, default), ``"parallel"``
+        (the process-pool tile engine of :mod:`repro.engine`, bit-identical
+        to ``"tiled"``), ``"dense"`` (full-plane oracle), or ``"pairwise"``
+        (AFASTDC-style reference builder).  ``"vectorized"`` is a legacy
+        alias of ``"tiled"``.
     tile_rows:
-        Tile edge length of the tiled evidence builder.
+        Tile edge length of the tiled/parallel evidence builders; ``None``
+        (default) picks it adaptively from a memory budget.
+    n_workers:
+        Worker processes of the ``"parallel"`` evidence builder (``None``
+        uses all CPUs); ignored by the other methods.
     max_dc_size:
         Optional cap on predicates per DC.
     seed:
@@ -127,13 +133,14 @@ class ADCMiner:
         space_config: PredicateSpaceConfig | None = None,
         selection: SelectionStrategy = "max",
         evidence_method: str = "tiled",
-        tile_rows: int = DEFAULT_TILE_ROWS,
+        tile_rows: int | None = None,
+        n_workers: int | None = None,
         max_dc_size: int | None = None,
         seed: int | None = None,
     ) -> None:
         if isinstance(function, str):
             function = get_approximation_function(function)
-        if evidence_method not in ("tiled", "vectorized", "dense", "pairwise"):
+        if evidence_method not in EVIDENCE_METHODS:
             raise ValueError(f"unknown evidence method {evidence_method!r}")
         self.function = function
         self.epsilon = float(epsilon)
@@ -143,7 +150,8 @@ class ADCMiner:
         self.space_config = space_config or PredicateSpaceConfig()
         self.selection: SelectionStrategy = selection
         self.evidence_method = evidence_method
-        self.tile_rows = int(tile_rows)
+        self.tile_rows = int(tile_rows) if tile_rows is not None else None
+        self.n_workers = int(n_workers) if n_workers is not None else None
         self.max_dc_size = max_dc_size
         self.seed = seed
 
@@ -167,6 +175,7 @@ class ADCMiner:
             include_participation=needs_participation,
             method=self.evidence_method,
             tile_rows=self.tile_rows,
+            n_workers=self.n_workers,
         )
         timings.evidence = time.perf_counter() - started
 

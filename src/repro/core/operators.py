@@ -32,6 +32,16 @@ class Operator(enum.Enum):
     def __str__(self) -> str:  # pragma: no cover - trivial
         return self.value
 
+    def __lt__(self, other: object) -> bool:
+        """Order operators by declaration position.
+
+        Predicates are ordered dataclasses; without this, sorting predicates
+        that tie on their column fields raises ``TypeError``.
+        """
+        if not isinstance(other, Operator):
+            return NotImplemented
+        return _OPERATOR_RANK[self] < _OPERATOR_RANK[other]
+
     @property
     def symbol(self) -> str:
         """Human readable symbol (same as the enum value)."""
@@ -77,6 +87,8 @@ class Operator(enum.Enum):
         """
         return other in _IMPLICATIONS[self]
 
+
+_OPERATOR_RANK = {member: position for position, member in enumerate(Operator)}
 
 _COMPLEMENTS = {
     Operator.EQ: Operator.NE,

@@ -28,10 +28,23 @@ class PredicateForm(enum.Enum):
     TWO_TUPLE_CROSS_COLUMN = "two_tuple_cross_column"
     SINGLE_TUPLE = "single_tuple"
 
+    def __lt__(self, other: object) -> bool:
+        """Order forms by declaration position.
+
+        Predicates are ordered dataclasses; without this, sorting predicates
+        that tie on their column and operator fields raises ``TypeError``.
+        """
+        if not isinstance(other, PredicateForm):
+            return NotImplemented
+        return _FORM_RANK[self] < _FORM_RANK[other]
+
     @property
     def spans_two_tuples(self) -> bool:
         """Whether the right-hand side references the second tuple ``t'``."""
         return self is not PredicateForm.SINGLE_TUPLE
+
+
+_FORM_RANK = {member: position for position, member in enumerate(PredicateForm)}
 
 
 @dataclass(frozen=True, order=True)

@@ -1,0 +1,248 @@
+"""The picklable per-tile evidence kernel.
+
+:class:`TileKernel` is the compute core of both the serial tiled builder
+and the process-pool engine: given one :class:`~repro.engine.scheduler.Tile`
+it produces that block's deduplicated evidence words, multiplicities and
+tuple-participation histogram (a :class:`TilePartial`).
+
+The kernel is deliberately a *numpy-only* payload: building it
+(:meth:`TileKernel.from_relation`) resolves every predicate group's
+comparison data — per-row order categories, float value vectors, string
+factorization codes — and the per-category word masks up front, so worker
+processes receive a few flat arrays instead of the :class:`Relation` and
+:class:`PredicateSpace` objects.  It is pickled once per worker (pool
+initializer), after which tasks are plain ``(start, stop)`` shard ranges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.evidence import n_words_for, unique_word_rows
+from repro.core.operators import (
+    SATISFIED_BY_CATEGORY,
+    SATISFIED_BY_CATEGORY_STRING,
+    OrderCategory,
+)
+from repro.core.predicates import PredicateForm
+
+if TYPE_CHECKING:
+    from repro.core.predicate_space import PredicateSpace
+    from repro.data.relation import Relation
+    from repro.engine.scheduler import Tile
+
+_WORD_BITS = 64
+
+
+@dataclass(frozen=True)
+class TilePartial:
+    """One tile's deduplicated evidence contribution.
+
+    ``words[k]`` occurred ``counts[k]`` times among the tile's ordered
+    pairs.  ``part_keys``/``part_counts`` encode the tuple-participation
+    histogram with *tile-local* evidence ids:
+    ``part_keys = local_id * n_rows + tuple_id``, pre-aggregated within the
+    tile.  :class:`~repro.engine.partial.PartialEvidenceSet` remaps the
+    local ids to its own global ids on absorption.
+    """
+
+    words: np.ndarray
+    counts: np.ndarray
+    part_keys: np.ndarray | None
+    part_counts: np.ndarray | None
+
+
+class PreparedGroup:
+    """One predicate group with its comparison data resolved up front.
+
+    ``tile_categories(i0, i1, j0, j1)`` returns the
+    :class:`OrderCategory` matrix of the ordered pairs
+    ``(t_i, t_j), i in [i0, i1), j in [j0, j1)`` — the per-tile slice of
+    the dense builder's category matrix, computed without materialising it.
+    Subclasses hold only numpy arrays, so every prepared group pickles
+    cheaply into worker processes.
+    """
+
+    def __init__(self, lookup: np.ndarray) -> None:
+        self.lookup = lookup
+
+    def tile_categories(self, i0: int, i1: int, j0: int, j1: int) -> np.ndarray:
+        raise NotImplementedError
+
+
+class SingleTupleGroup(PreparedGroup):
+    """``t[A] op t[B]``: the category depends only on the left row."""
+
+    def __init__(self, lookup: np.ndarray, per_row: np.ndarray) -> None:
+        super().__init__(lookup)
+        self.per_row = per_row
+
+    def tile_categories(self, i0: int, i1: int, j0: int, j1: int) -> np.ndarray:
+        return np.broadcast_to(self.per_row[i0:i1, None], (i1 - i0, j1 - j0))
+
+
+class NumericPairGroup(PreparedGroup):
+    """Numeric ``t[A] op t'[B]``: sign of the value difference."""
+
+    def __init__(self, lookup: np.ndarray, left: np.ndarray, right: np.ndarray) -> None:
+        super().__init__(lookup)
+        self.left = left
+        self.right = right
+
+    def tile_categories(self, i0: int, i1: int, j0: int, j1: int) -> np.ndarray:
+        sign = np.sign(self.left[i0:i1, None] - self.right[None, j0:j1])
+        return (sign + 1).astype(np.int8)
+
+
+class StringPairGroup(PreparedGroup):
+    """String ``t[A] op t'[B]``: equality of factorization codes."""
+
+    def __init__(self, lookup: np.ndarray, left_codes: np.ndarray, right_codes: np.ndarray) -> None:
+        super().__init__(lookup)
+        self.left_codes = left_codes
+        self.right_codes = right_codes
+
+    def tile_categories(self, i0: int, i1: int, j0: int, j1: int) -> np.ndarray:
+        equal = self.left_codes[i0:i1, None] == self.right_codes[None, j0:j1]
+        categories = np.full(equal.shape, OrderCategory.LESS, dtype=np.int8)
+        categories[equal] = OrderCategory.EQUAL
+        return categories
+
+
+def prepare_groups(relation: "Relation", space: "PredicateSpace") -> list[PreparedGroup]:
+    """Resolve every predicate group's comparison data and word lookup."""
+    prepared: list[PreparedGroup] = []
+    for group in space.groups:
+        left_column, right_column, form = group.key
+        lookup = category_masks(space, group.indices, group.numeric)
+        if not lookup.any():
+            continue
+        left = relation.column(left_column)
+        right = relation.column(right_column)
+        numeric = left.type.is_numeric and right.type.is_numeric
+
+        if form is PredicateForm.SINGLE_TUPLE:
+            per_row = row_categories(relation, left_column, right_column, numeric)
+            prepared.append(SingleTupleGroup(lookup, per_row))
+        elif numeric:
+            prepared.append(
+                NumericPairGroup(
+                    lookup,
+                    left.values.astype(np.float64, copy=False),
+                    right.values.astype(np.float64, copy=False),
+                )
+            )
+        else:
+            left_codes, right_codes = relation.string_codes(left_column, right_column)
+            prepared.append(StringPairGroup(lookup, left_codes, right_codes))
+    return prepared
+
+
+def row_categories(
+    relation: "Relation", left_column: str, right_column: str, numeric: bool
+) -> np.ndarray:
+    """Per-row order category for single-tuple predicates ``t[A] op t[B]``."""
+    left = relation.column(left_column).values
+    right = relation.column(right_column).values
+    if numeric:
+        sign = np.sign(left.astype(np.float64) - right.astype(np.float64))
+        return (sign + 1).astype(np.int8)
+    left_codes, right_codes = relation.string_codes(left_column, right_column)
+    categories = np.full(len(left_codes), OrderCategory.LESS, dtype=np.int8)
+    categories[left_codes == right_codes] = OrderCategory.EQUAL
+    return categories
+
+
+def category_masks(space: "PredicateSpace", indices: tuple[int, ...], numeric: bool) -> np.ndarray:
+    """Per-category, per-word bitmasks for one predicate group.
+
+    Returns an array of shape ``(3, n_words)`` (uint64) where entry
+    ``[category, word]`` is the OR of the bits of the group's predicates
+    satisfied in that category, restricted to that 64-bit word.
+    """
+    n_words = n_words_for(len(space))
+    table = SATISFIED_BY_CATEGORY if numeric else SATISFIED_BY_CATEGORY_STRING
+    masks = np.zeros((3, n_words), dtype=np.uint64)
+    for category in OrderCategory:
+        satisfied = table[category]
+        for index in indices:
+            if space[index].operator in satisfied:
+                word, bit = divmod(index, _WORD_BITS)
+                masks[category, word] |= np.uint64(1) << np.uint64(bit)
+    return masks
+
+
+class TileKernel:
+    """Evaluate the evidence words of one tile of the ordered-pair matrix.
+
+    Parameters
+    ----------
+    groups:
+        Prepared predicate groups (see :func:`prepare_groups`).
+    n_rows:
+        Number of tuples of the relation.
+    n_predicates:
+        Size of the predicate space (determines the word width).
+    include_participation:
+        Whether :meth:`run` also aggregates the tuple-participation
+        histogram needed by the f2/f3 approximation functions.
+    """
+
+    def __init__(
+        self,
+        groups: list[PreparedGroup],
+        n_rows: int,
+        n_predicates: int,
+        include_participation: bool = True,
+    ) -> None:
+        self.groups = groups
+        self.n_rows = int(n_rows)
+        self.n_predicates = int(n_predicates)
+        self.n_words = n_words_for(n_predicates)
+        self.include_participation = bool(include_participation)
+
+    @classmethod
+    def from_relation(
+        cls,
+        relation: "Relation",
+        space: "PredicateSpace",
+        include_participation: bool = True,
+    ) -> "TileKernel":
+        """Resolve a relation/predicate-space pair into a compact kernel."""
+        return cls(
+            prepare_groups(relation, space),
+            relation.n_rows,
+            len(space),
+            include_participation,
+        )
+
+    def run(self, tile: "Tile") -> TilePartial | None:
+        """Compute one tile's :class:`TilePartial` (``None`` if empty)."""
+        i0, i1, j0, j1 = tile.i0, tile.i1, tile.j0, tile.j1
+        plane = np.zeros((i1 - i0, j1 - j0, self.n_words), dtype=np.uint64)
+        for group in self.groups:
+            categories = group.tile_categories(i0, i1, j0, j1)
+            plane |= group.lookup[categories]
+
+        flat = plane.reshape(-1, self.n_words)
+        left_ids = np.repeat(np.arange(i0, i1, dtype=np.int64), j1 - j0)
+        right_ids = np.tile(np.arange(j0, j1, dtype=np.int64), i1 - i0)
+        keep = left_ids != right_ids
+        if not keep.all():
+            flat = flat[keep]
+            left_ids = left_ids[keep]
+            right_ids = right_ids[keep]
+        if not len(flat):
+            return None
+
+        unique_words, inverse, counts = unique_word_rows(flat)
+        part_keys = part_counts = None
+        if self.include_participation:
+            n = self.n_rows
+            pair_ids = inverse
+            keys = np.concatenate([pair_ids * n + left_ids, pair_ids * n + right_ids])
+            part_keys, part_counts = np.unique(keys, return_counts=True)
+        return TilePartial(unique_words, counts, part_keys, part_counts)

@@ -1,0 +1,174 @@
+"""Process-pool evidence construction.
+
+:func:`build_evidence_set_parallel` fans the tile schedule out over a
+:class:`concurrent.futures.ProcessPoolExecutor`: the picklable
+:class:`~repro.engine.kernel.TileKernel` and tile list are shipped once per
+worker through the pool initializer, tasks are plain ``(start, stop)``
+shard ranges, and every worker returns one
+:class:`~repro.engine.partial.PartialEvidenceSet` that the parent merges
+and finalizes.  Because the merge is associative/commutative and
+finalization orders evidences canonically, the result is bit-identical to
+the serial tiled builder's.
+
+Exposed as ``method="parallel"`` of
+:func:`repro.core.evidence_builder.build_evidence_set` and via the
+``n_workers`` knob of :class:`repro.core.miner.ADCMiner`.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import os
+import sys
+from concurrent.futures import ProcessPoolExecutor
+from typing import TYPE_CHECKING
+
+from repro.core.evidence import EvidenceSet, n_words_for
+from repro.engine.kernel import TileKernel
+from repro.engine.partial import PartialEvidenceSet
+from repro.engine.scheduler import (
+    DEFAULT_MEMORY_BUDGET_BYTES,
+    TileScheduler,
+    choose_tile_rows,
+)
+
+if TYPE_CHECKING:
+    from repro.core.predicate_space import PredicateSpace
+    from repro.data.relation import Relation
+    from repro.engine.scheduler import Tile
+
+#: Shards handed to the pool per worker; >1 smooths load imbalance from
+#: tiles whose evidence distributions dedup at different speeds.
+SHARDS_PER_WORKER = 2
+
+# Worker-process state, installed once by the pool initializer so that the
+# per-shard tasks only carry two integers.
+_worker_kernel: TileKernel | None = None
+_worker_tiles: tuple["Tile", ...] = ()
+
+
+def _init_worker(kernel: TileKernel, tiles: tuple["Tile", ...]) -> None:
+    global _worker_kernel, _worker_tiles
+    _worker_kernel = kernel
+    _worker_tiles = tiles
+
+
+def fold_tiles(kernel: TileKernel, tiles: tuple["Tile", ...]) -> PartialEvidenceSet:
+    """Fold kernel results over a tile sequence into one partial."""
+    partial = PartialEvidenceSet(
+        kernel.n_rows, kernel.n_words, kernel.include_participation
+    )
+    for tile in tiles:
+        tile_partial = kernel.run(tile)
+        if tile_partial is not None:
+            partial.add_tile(tile_partial)
+    return partial
+
+
+def _run_shard(shard_range: tuple[int, int]) -> PartialEvidenceSet:
+    """Run the worker's kernel over one ``tiles[start:stop]`` shard."""
+    kernel = _worker_kernel
+    if kernel is None:
+        raise RuntimeError("worker process was not initialized with a kernel")
+    start, stop = shard_range
+    return fold_tiles(kernel, _worker_tiles[start:stop])
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    """Prefer fork on Linux (cheap initargs, inherited sys.path).
+
+    macOS is left on its platform default (spawn): CPython switched it away
+    from fork because forking a process with Objective-C frameworks loaded
+    can abort or deadlock the children.
+    """
+    if sys.platform.startswith("linux"):
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def _parallel_tile_rows(
+    n_rows: int, n_words: int, n_workers: int, memory_budget_bytes: int
+) -> int:
+    """Adaptive tile edge for a pool of ``n_workers`` kernels.
+
+    The memory budget is split across the workers (each runs its own
+    kernel concurrently), and the edge is additionally capped so the grid
+    has at least ``SHARDS_PER_WORKER * n_workers`` tiles — otherwise a
+    large budget would yield one giant tile and no parallelism.
+    """
+    per_worker_budget = max(1, memory_budget_bytes // n_workers)
+    tile_rows = choose_tile_rows(n_rows, n_words, per_worker_budget)
+    min_tiles = max(1, SHARDS_PER_WORKER * n_workers)
+    grid = math.ceil(math.sqrt(min_tiles))
+    target_edge = math.ceil(n_rows / grid)
+    return max(1, min(tile_rows, target_edge))
+
+
+def build_evidence_set_parallel(
+    relation: "Relation",
+    space: "PredicateSpace",
+    include_participation: bool = True,
+    tile_rows: int | None = None,
+    n_workers: int | None = None,
+    memory_budget_bytes: int = DEFAULT_MEMORY_BUDGET_BYTES,
+) -> EvidenceSet:
+    """Build ``Evi(D)`` with a process pool over tile shards.
+
+    Parameters
+    ----------
+    relation:
+        The database ``D`` (or a sample of it).
+    space:
+        Predicate space produced by
+        :func:`repro.core.predicate_space.build_predicate_space`.
+    include_participation:
+        Whether to also build the per-evidence tuple-participation
+        structure (needed by the f2/f3 approximation functions).
+    tile_rows:
+        Tile edge length; ``None`` (default) selects it adaptively from
+        the memory budget, the word width and the worker count.
+    n_workers:
+        Worker processes; ``None`` uses ``os.cpu_count()``.  ``1`` runs
+        the schedule in-process without a pool (no fork/pickle overhead),
+        which is also the fallback when the schedule has a single tile.
+    memory_budget_bytes:
+        Total transient-memory budget shared by the concurrent kernels
+        (only consulted when ``tile_rows`` is ``None``).
+    """
+    if n_workers is None:
+        n_workers = os.cpu_count() or 1
+    if n_workers < 1:
+        raise ValueError("n_workers must be positive")
+    n = relation.n_rows
+    if n < 2:
+        return EvidenceSet(space, [], [], n, [] if include_participation else None)
+    n_words = n_words_for(len(space))
+    if tile_rows is None:
+        if n_workers > 1:
+            tile_rows = _parallel_tile_rows(n, n_words, n_workers, memory_budget_bytes)
+        else:
+            tile_rows = choose_tile_rows(n, n_words, memory_budget_bytes)
+
+    scheduler = TileScheduler(n, tile_rows=tile_rows, n_words=n_words)
+    kernel = TileKernel.from_relation(relation, space, include_participation)
+    tiles = scheduler.tiles()
+
+    if n_workers == 1 or len(tiles) == 1:
+        return fold_tiles(kernel, tiles).finalize(space)
+
+    shards = scheduler.shards(SHARDS_PER_WORKER * n_workers)
+    with ProcessPoolExecutor(
+        max_workers=min(n_workers, len(shards)),
+        mp_context=_pool_context(),
+        initializer=_init_worker,
+        initargs=(kernel, tiles),
+    ) as pool:
+        partials = list(
+            pool.map(_run_shard, [(shard.start, shard.stop) for shard in shards])
+        )
+
+    merged = partials[0]
+    for partial in partials[1:]:
+        merged.merge(partial)
+    return merged.finalize(space)

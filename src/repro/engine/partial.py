@@ -1,0 +1,229 @@
+"""Mergeable partial evidence sets.
+
+A :class:`PartialEvidenceSet` accumulates the output of tile kernels over
+any subset of tiles: a word-keyed dedup dictionary of distinct evidences,
+per-chunk multiplicity histograms, and per-chunk tuple-participation
+histograms (keyed ``evidence_id * n_rows + tuple_id``, CSR-style at
+finalization).  Two partials built from disjoint tile sets can be
+:meth:`merge`-d — the operation is associative and commutative up to
+evidence-id relabeling, and :meth:`finalize` erases the relabeling by
+sorting evidences into the canonical lexicographic word order, so *any*
+merge tree over the same tiles yields a bit-identical
+:class:`~repro.core.evidence.EvidenceSet`.  This is what lets the process
+pool (and, later, cross-machine shards) combine results in completion
+order.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.evidence import EvidenceSet, TupleParticipation, lexsort_word_rows
+
+if TYPE_CHECKING:
+    from repro.core.predicate_space import PredicateSpace
+    from repro.engine.kernel import TilePartial
+
+
+class PartialEvidenceSet:
+    """Evidence accumulated over a subset of tiles, mergeable with others.
+
+    Parameters
+    ----------
+    n_rows:
+        Number of tuples of the underlying relation (fixes the
+        participation key arithmetic; merging partials with different
+        ``n_rows`` is an error).
+    n_words:
+        Evidence word width.
+    include_participation:
+        Whether tuple-participation histograms are tracked.
+    """
+
+    def __init__(self, n_rows: int, n_words: int, include_participation: bool = True) -> None:
+        self.n_rows = int(n_rows)
+        self.n_words = int(n_words)
+        self.include_participation = bool(include_participation)
+        self._ids: dict[bytes, int] = {}
+        self._rows: list[np.ndarray] = []
+        self._id_chunks: list[np.ndarray] = []
+        self._count_chunks: list[np.ndarray] = []
+        self._part_key_chunks: list[np.ndarray] = []
+        self._part_count_chunks: list[np.ndarray] = []
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    @property
+    def recorded_pairs(self) -> int:
+        """Ordered pairs absorbed so far (sum of chunk multiplicities)."""
+        return int(sum(int(chunk.sum()) for chunk in self._count_chunks))
+
+    def _intern_rows(self, words: np.ndarray) -> np.ndarray:
+        """Map distinct word rows to global ids, registering new ones."""
+        mapping = np.empty(len(words), dtype=np.int64)
+        ids = self._ids
+        for local, row in enumerate(words):
+            key = row.tobytes()
+            global_id = ids.get(key)
+            if global_id is None:
+                global_id = len(ids)
+                ids[key] = global_id
+                # copy: appending the view would pin the source array,
+                # defeating the O(tile^2) memory bound.
+                self._rows.append(row.copy())
+            mapping[local] = global_id
+        return mapping
+
+    def _remap_part_keys(self, keys: np.ndarray, mapping: np.ndarray) -> np.ndarray:
+        """Rewrite ``local_id * n + tuple`` keys under an id mapping."""
+        n = max(self.n_rows, 1)
+        local_ids = keys // n
+        tuple_ids = keys - local_ids * n
+        return mapping[local_ids] * n + tuple_ids
+
+    def add_tile(self, tile_partial: "TilePartial") -> "PartialEvidenceSet":
+        """Absorb one tile kernel result; returns ``self`` for chaining."""
+        mapping = self._intern_rows(tile_partial.words)
+        self._id_chunks.append(mapping)
+        self._count_chunks.append(np.asarray(tile_partial.counts, dtype=np.int64))
+        if self.include_participation:
+            if tile_partial.part_keys is None:
+                raise ValueError("tile partial lacks the participation histogram")
+            self._part_key_chunks.append(
+                self._remap_part_keys(tile_partial.part_keys, mapping)
+            )
+            self._part_count_chunks.append(
+                np.asarray(tile_partial.part_counts, dtype=np.int64)
+            )
+        return self
+
+    def merge(self, other: "PartialEvidenceSet") -> "PartialEvidenceSet":
+        """Fold ``other`` into ``self``; returns ``self`` for chaining.
+
+        The word dictionaries are unioned (``other``'s ids remapped onto
+        ``self``'s), multiplicity chunks concatenate (their histograms add
+        at finalization), and participation chunks concatenate with their
+        evidence ids rewritten.  The operation is associative and
+        commutative up to id relabeling, which :meth:`finalize` erases.
+        """
+        if other.n_rows != self.n_rows or other.n_words != self.n_words:
+            raise ValueError("cannot merge partials of different relations")
+        if other.include_participation != self.include_participation:
+            raise ValueError("cannot merge partials with mismatched participation")
+        # other._ids already holds each row's byte key, and other._rows owns
+        # copies that are never mutated, so the union can reuse both instead
+        # of re-serializing and re-copying every row.
+        remap = np.empty(len(other._rows), dtype=np.int64)
+        for key, other_id in other._ids.items():
+            global_id = self._ids.get(key)
+            if global_id is None:
+                global_id = len(self._ids)
+                self._ids[key] = global_id
+                self._rows.append(other._rows[other_id])
+            remap[other_id] = global_id
+        for chunk in other._id_chunks:
+            self._id_chunks.append(remap[chunk])
+        self._count_chunks.extend(other._count_chunks)
+        if self.include_participation:
+            for keys in other._part_key_chunks:
+                self._part_key_chunks.append(self._remap_part_keys(keys, remap))
+            self._part_count_chunks.extend(other._part_count_chunks)
+        return self
+
+    def copy(self) -> "PartialEvidenceSet":
+        """Independent copy (chunk arrays are shared, never mutated)."""
+        duplicate = PartialEvidenceSet(self.n_rows, self.n_words, self.include_participation)
+        duplicate._ids = dict(self._ids)
+        duplicate._rows = list(self._rows)
+        duplicate._id_chunks = list(self._id_chunks)
+        duplicate._count_chunks = list(self._count_chunks)
+        duplicate._part_key_chunks = list(self._part_key_chunks)
+        duplicate._part_count_chunks = list(self._part_count_chunks)
+        return duplicate
+
+    def finalize(self, space: "PredicateSpace") -> EvidenceSet:
+        """Resolve the accumulated chunks into a canonical evidence set.
+
+        Evidences are emitted in lexicographic word order regardless of the
+        order tiles were absorbed or partials merged, so every merge tree
+        over the same tiles finalizes to a bit-identical result.
+        """
+        n_evidences = len(self._ids)
+        words = (
+            np.vstack(self._rows)
+            if self._rows
+            else np.zeros((0, self.n_words), dtype=np.uint64)
+        )
+        order = lexsort_word_rows(words)
+        rank = np.empty(n_evidences, dtype=np.int64)
+        rank[order] = np.arange(n_evidences, dtype=np.int64)
+        words = words[order]
+
+        counts = np.zeros(n_evidences, dtype=np.int64)
+        for ids, chunk_counts in zip(self._id_chunks, self._count_chunks):
+            np.add.at(counts, rank[ids], chunk_counts)
+
+        participation = None
+        if self.include_participation:
+            key_chunks = [
+                self._remap_part_keys(keys, rank) for keys in self._part_key_chunks
+            ]
+            participation = participation_from_key_chunks(
+                key_chunks, self._part_count_chunks, self.n_rows, n_evidences
+            )
+        return EvidenceSet(
+            space, counts=counts, n_rows=self.n_rows,
+            participation=participation, words=words,
+        )
+
+
+def participation_from_key_chunks(
+    key_chunks: list[np.ndarray],
+    count_chunks: list[np.ndarray],
+    n_rows: int,
+    n_evidences: int,
+) -> list[TupleParticipation]:
+    """Merge per-chunk ``evidence * n + tuple`` histograms into ``vios``.
+
+    Each chunk contributes pre-aggregated ``(key, count)`` pairs; keys may
+    repeat across chunks, so they are re-aggregated with a sort + segmented
+    sum before being split per evidence.
+    """
+    if not key_chunks:
+        return [
+            TupleParticipation(np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64))
+            for _ in range(n_evidences)
+        ]
+    keys = np.concatenate(key_chunks)
+    counts = np.concatenate(count_chunks)
+    order = np.argsort(keys, kind="stable")
+    keys = keys[order]
+    counts = counts[order]
+    starts = np.flatnonzero(np.r_[True, keys[1:] != keys[:-1]])
+    unique_keys = keys[starts]
+    summed = np.add.reduceat(counts, starts)
+    return split_participation(unique_keys, summed, n_rows, n_evidences)
+
+
+def split_participation(
+    unique_keys: np.ndarray,
+    key_counts: np.ndarray,
+    n_rows: int,
+    n_evidences: int,
+) -> list[TupleParticipation]:
+    """Split sorted ``evidence * n + tuple`` keys into per-evidence rows."""
+    participation: list[TupleParticipation] = []
+    owners = unique_keys // max(n_rows, 1)
+    tuples = unique_keys % max(n_rows, 1)
+    boundaries = np.searchsorted(owners, np.arange(n_evidences + 1))
+    for evidence in range(n_evidences):
+        start, stop = boundaries[evidence], boundaries[evidence + 1]
+        participation.append(
+            TupleParticipation(
+                tuples[start:stop].copy(), key_counts[start:stop].astype(np.int64, copy=True)
+            )
+        )
+    return participation
