@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.core.adc_enum import DiscoveredADC
 from repro.core.approximation import ApproximationFunction, F1
+from repro.core.bitset import full_bits, pack_bool_rows, popcount
 from repro.core.dc import DenialConstraint
 from repro.core.evidence import EvidenceSet
 from repro.core.predicate_space import iter_bits
@@ -75,8 +76,11 @@ class SearchMC:
         # Predicate-membership matrix: contains[p, e] is True when evidence e
         # satisfies predicate p (the same bit-level representation FASTDC's
         # Java implementation uses for its coverage counting), unpacked
-        # straight from the evidence set's packed uint64 words.
+        # straight from the evidence set's packed uint64 words; the packed
+        # transpose (predicate -> evidence-bitset) drives the word-native
+        # coverage counting of the dynamic candidate ordering.
         self._contains = evidence.predicate_membership()
+        self._contains_ev_words = pack_bool_rows(self._contains)
         self._counts = np.asarray(evidence.counts, dtype=np.int64)
 
     # ------------------------------------------------------------------
@@ -89,7 +93,8 @@ class SearchMC:
         covers: dict[int, float] = {}
         all_indices = list(range(len(self.evidence.space)))
         uncovered = np.arange(len(self.evidence), dtype=np.int64)
-        self._search(0, [], all_indices, uncovered, covers)
+        uncovered_bits = full_bits(len(self.evidence))
+        self._search(0, [], all_indices, uncovered, uncovered_bits, covers)
         minimal = self._minimize(covers)
         results = self._to_adcs(minimal)
         self.statistics.elapsed_seconds = time.perf_counter() - started
@@ -121,6 +126,7 @@ class SearchMC:
         cover_elements: list[int],
         candidates: list[int],
         uncovered: np.ndarray,
+        uncovered_bits: np.ndarray,
         covers: dict[int, float],
     ) -> None:
         self.statistics.nodes_visited += 1
@@ -140,7 +146,12 @@ class SearchMC:
             self.statistics.pruned_no_candidates += 1
             return
         candidate_array = np.asarray(candidates, dtype=np.int64)
-        coverage_counts = self._contains[candidate_array][:, uncovered].sum(axis=1)
+        # Word-native coverage counting: popcounts over the packed uncovered
+        # bitset replace the boolean fancy-index submatrix of the pre-word
+        # implementation (same counts, ~64x less data touched per node).
+        coverage_counts = popcount(
+            self._contains_ev_words[candidate_array] & uncovered_bits
+        ).sum(axis=1, dtype=np.int64)
         useful = coverage_counts > 0
         if not useful.any():
             self.statistics.pruned_no_candidates += 1
@@ -151,19 +162,21 @@ class SearchMC:
         space = self.evidence.space
         for position, candidate in enumerate(ordered):
             remaining_uncovered = uncovered[~self._contains[candidate][uncovered]]
+            remaining_bits = uncovered_bits & ~self._contains_ev_words[candidate]
             # Like ADCEnum, drop operator-only variants of the chosen
             # predicate from the remaining candidates: covers using two
             # predicates over the same column pair are either trivial or
             # violate indifference-to-redundancy minimality.
-            group = set(space.group_of(candidate).indices)
+            group_mask = space.group_mask(candidate)
             remaining_candidates = [
-                other for other in ordered[position + 1:] if other not in group
+                other for other in ordered[position + 1:] if not (group_mask >> other) & 1
             ]
             self._search(
                 cover_mask | (1 << candidate),
                 cover_elements + [candidate],
                 remaining_candidates,
                 remaining_uncovered,
+                remaining_bits,
                 covers,
             )
 

@@ -18,6 +18,15 @@ from repro.core.predicate_space import (
     PredicateSpaceConfig,
     build_predicate_space,
 )
+from repro.core.bitset import (
+    CriticalityPlanes,
+    bits_to_indices,
+    full_bits,
+    indices_to_bits,
+    pack_bool_rows,
+    popcount,
+    unpack_bits,
+)
 from repro.core.dc import DenialConstraint, format_dc_set, minimize_dcs
 from repro.core.evidence import (
     EvidenceSet,
@@ -86,6 +95,13 @@ __all__ = [
     "PredicateSpace",
     "PredicateSpaceConfig",
     "build_predicate_space",
+    "CriticalityPlanes",
+    "bits_to_indices",
+    "full_bits",
+    "indices_to_bits",
+    "pack_bool_rows",
+    "popcount",
+    "unpack_bits",
     "DenialConstraint",
     "minimize_dcs",
     "format_dc_set",

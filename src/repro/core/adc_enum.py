@@ -20,14 +20,21 @@ function, extended from the MMCS enumerator of Murakami and Uno with
 The enumerated hitting set ``S`` is a set of predicates; the reported DC is
 ``S_phi = complement(S)``.
 
-The per-node work (which evidences a candidate set can still hit, how many
-candidate predicates each uncovered evidence contains, which evidences a new
-element covers) is vectorised directly over the evidence set's native packed
-``(n_evidences, n_words)`` uint64 words — the Python-level reproduction of
-DCFinder's bit-level engineering, without which the enumeration would be
-orders of magnitude slower.  No representation conversion happens between
-evidence construction and enumeration; only hitting-set/candidate masks are
-split into words via :func:`repro.core.evidence.mask_to_words`.
+The search recursion is **word-native**: no Python-int bitmask is touched
+inside ``_search``.  Candidate sets and per-predicate group masks are packed
+``(n_words,)`` uint64 vectors over predicate bits, the uncovered set and the
+per-element criticality bookkeeping are packed bitsets over evidence bits
+(:class:`~repro.core.bitset.CriticalityPlanes`), and the per-evidence count
+of remaining candidate predicates — which answers both "which uncovered
+evidences can still be hit" and the max/min intersection selection rule — is
+maintained *incrementally* across recursive calls from the bits each branch
+removes, instead of being recomputed against the full candidate plane at
+every node.  Chosen evidences are read directly from the packed
+``evidence.words`` plane; the lazy Python-int ``masks`` view is never
+consulted.  This is the Python-level reproduction of DCFinder's bit-level
+engineering, without which the enumeration would be orders of magnitude
+slower (``benchmarks/bench_enum_core.py`` tracks the node rate against the
+pre-refactor core kept in :mod:`repro.core.legacy_enum`).
 """
 
 from __future__ import annotations
@@ -41,8 +48,18 @@ from typing import Iterator, Literal, Sequence
 import numpy as np
 
 from repro.core.approximation import ApproximationFunction, F1
+from repro.core.bitset import (
+    BIT_TABLE as _BIT_TABLE,
+    CriticalityPlanes,
+    full_bits,
+    pack_bool_rows,
+    popcount,
+    set_bit,
+    unpack_bits,
+    word_bits_list,
+)
 from repro.core.dc import DenialConstraint
-from repro.core.evidence import EvidenceSet, mask_to_words
+from repro.core.evidence import EvidenceSet, masks_to_words
 from repro.core.predicate_space import iter_bits
 
 SelectionStrategy = Literal["max", "min", "random"]
@@ -61,6 +78,13 @@ class EnumerationStatistics:
     outputs: int = 0
     elapsed_seconds: float = 0.0
     extra: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def nodes_per_second(self) -> float:
+        """Search nodes visited per wall-clock second (0 when unmeasured)."""
+        if self.elapsed_seconds <= 0.0:
+            return 0.0
+        return self.recursive_calls / self.elapsed_seconds
 
 
 @dataclass(frozen=True)
@@ -127,14 +151,32 @@ class ADCEnum:
     # ------------------------------------------------------------------
     def _prepare_planes(self) -> None:
         # The packed (n_evidences, n_words) uint64 array is the evidence
-        # set's native representation, so it is consumed as-is; hitting-set
-        # and candidate masks are split with the shared mask_to_words helper.
+        # set's native representation, consumed as-is.  Everything else the
+        # recursion needs is precomputed here as word planes: per-predicate
+        # evidence-membership bitsets (for criticality updates), per-predicate
+        # group masks (from the PredicateSpace cache) and the full candidate
+        # plane the root starts from.
+        space = self.evidence.space
         self._n_evidences = len(self.evidence)
+        self._n_predicates = len(space)
         self._n_words = self.evidence.n_words
         self._ev_words = self.evidence.words
+        # Transposed copy: plane w holds word w of every evidence
+        # contiguously.  The per-node popcounts then run as unrolled 1-D
+        # kernels over contiguous planes — an order of magnitude cheaper
+        # than broadcast-and-reduce over the (n_evidences, n_words) layout,
+        # whose axis-1 reductions of tiny width dominate otherwise.
+        self._ev_planes = np.ascontiguousarray(self._ev_words.T)
         self._counts = np.asarray(self.evidence.counts, dtype=np.int64)
-        # contains[p] is the boolean evidence-membership vector of predicate p.
-        self._contains = self.evidence.predicate_membership()
+        # contains_ev_words[p] is predicate p's evidence-membership vector
+        # packed over evidence bits; the boolean matrix it is packed from is
+        # deliberately not retained (it is 64x the size of the plane).
+        self._contains_ev_words = pack_bool_rows(self.evidence.predicate_membership())
+        self._group_words = masks_to_words(space.group_masks, self._n_words)
+        # Complemented group planes: the hit branch prunes a chosen
+        # predicate's whole group with a single AND against this plane.
+        self._group_words_inv = ~self._group_words
+        self._full_cand_words = full_bits(self._n_predicates)
 
     # ------------------------------------------------------------------
     # Public API
@@ -144,30 +186,62 @@ class ADCEnum:
         return list(self.iter_adcs())
 
     def iter_adcs(self) -> Iterator[DiscoveredADC]:
-        """Yield minimal nontrivial ADCs as they are discovered."""
+        """Yield all minimal nontrivial ADCs (computed eagerly, then yielded).
+
+        The search itself runs as a plain recursion rather than a generator
+        chain — outputs are rare relative to search nodes, and dragging every
+        node through the iterator protocol measurably slows the hot loop.
+        """
         self.statistics = EnumerationStatistics()
         started = time.perf_counter()
         sys.setrecursionlimit(max(sys.getrecursionlimit(), 50_000))
 
-        space = self.evidence.space
-        uncov = np.arange(self._n_evidences, dtype=np.int64)
-        can_hit = np.ones(self._n_evidences, dtype=bool)
+        uncov_bits = full_bits(self._n_evidences)
         uncovered_pairs = int(self._counts.sum()) if self._n_evidences else 0
-        cand = (1 << len(space)) - 1
-        crit: dict[int, set[int]] = {}
-        seen_outputs: set[int] = set()
+        cand_words = self._full_cand_words.copy()
+        # cand_counts[i] = |uncov[i] ∩ candidate set|: the overlap vector is
+        # threaded through the recursion (skip children reuse the reduced
+        # vector their parent already computed for the WillCover test), so a
+        # node never recomputes it against the full candidate plane.  The
+        # per-evidence pair multiplicities and canHit flags are threaded the
+        # same way, aligned with uncov.
+        cand_counts = self._intersection_counts(self._ev_planes, cand_words)
+        self._crit = CriticalityPlanes(self._n_evidences, self._n_predicates + 1)
+        self._seen_outputs: set[int] = set()
+        self._results: list[DiscoveredADC] = []
+        self._total_pairs = self.evidence.total_pairs
+        # A function that declares its score fully determined by the
+        # violating-pair fraction (f1 and the adjusted f1') lets every
+        # threshold test in the recursion collapse to scalar arithmetic on
+        # the maintained counter.  It also licenses the dead-evidence
+        # compaction: evidences whose candidate overlap reaches zero are
+        # dropped from the threaded vectors (their pairs accumulate in the
+        # dead_pairs scalar), because only their pair total — never their
+        # identity — can still influence a threshold test; the uncovered
+        # index list is rebuilt from uncov_bits at emission time.  Functions
+        # that inspect the uncovered multiset (f2/f3) — or that only have a
+        # *partial* pair shortcut — keep the full vectors and the explicit
+        # index array.
+        self._pair_determined = self._total_pairs == 0 or self.function.pair_determined
+        uncov = (
+            None
+            if self._pair_determined
+            else np.arange(self._n_evidences, dtype=np.int64)
+        )
 
-        yield from self._search(
-            s_mask=0,
+        self._search(
             s_elements=[],
-            crit=crit,
             uncov=uncov,
+            ev_uncov=self._ev_planes,
+            uncov_bits=uncov_bits,
             uncovered_pairs=uncovered_pairs,
-            cand=cand,
-            can_hit=can_hit,
-            seen_outputs=seen_outputs,
+            dead_pairs=0,
+            cand_words=cand_words,
+            cand_counts=cand_counts,
+            counts_uncov=self._counts,
         )
         self.statistics.elapsed_seconds = time.perf_counter() - started
+        yield from self._results
 
     # ------------------------------------------------------------------
     # Scoring helpers
@@ -213,32 +287,39 @@ class ADCEnum:
     def _is_minimal(
         self,
         s_elements: list[int],
-        crit: dict[int, set[int]],
-        uncov: np.ndarray,
+        uncov: np.ndarray | None,
         uncovered_pairs: int,
     ) -> bool:
         """The IsMinimal subroutine of Figure 5.
 
         Removing element ``e`` from ``S`` un-covers exactly the evidences for
         which ``e`` is critical, so the score of ``S \\ {e}`` is evaluated on
-        the current uncovered set extended with ``crit[e]``.
+        the current uncovered set extended with the criticality plane of
+        ``e``.
         """
         self.statistics.minimality_checks += 1
+        if not s_elements:
+            return True
+        total = self.evidence.total_pairs
+        # One batched unpack answers every member's "how many pairs would
+        # dropping it un-cover" question; the per-member index lists are only
+        # materialised for functions the pair fraction cannot decide.
+        crit_bools = unpack_bits(self._crit.active_rows(), self._n_evidences)
+        extra_pairs_vector = crit_bools @ self._counts
         uncov_indices: list[int] | None = None
-        for element in s_elements:
-            critical = crit.get(element, set())
-            extra_pairs = int(self._counts[list(critical)].sum()) if critical else 0
+        for depth in range(len(s_elements)):
+            extra_pairs = int(extra_pairs_vector[depth])
             pair_fraction_known = self.function.violation_score_from_pair_fraction(
-                (uncovered_pairs + extra_pairs) / max(self.evidence.total_pairs, 1),
-                self.evidence.total_pairs,
+                (uncovered_pairs + extra_pairs) / max(total, 1), total
             )
             if pair_fraction_known is not None:
                 if pair_fraction_known <= self.epsilon:
                     return False
                 continue
+            critical = np.flatnonzero(crit_bools[depth])
             if uncov_indices is None:
                 uncov_indices = uncov.tolist()
-            if self._passes(uncov_indices + list(critical), uncovered_pairs + extra_pairs):
+            if self._passes(uncov_indices + critical.tolist(), uncovered_pairs + extra_pairs):
                 return False
         return True
 
@@ -247,24 +328,39 @@ class ADCEnum:
     # ------------------------------------------------------------------
     def _search(
         self,
-        s_mask: int,
         s_elements: list[int],
-        crit: dict[int, set[int]],
-        uncov: np.ndarray,
+        uncov: np.ndarray | None,
+        ev_uncov: np.ndarray,
+        uncov_bits: np.ndarray,
         uncovered_pairs: int,
-        cand: int,
-        can_hit: np.ndarray,
-        seen_outputs: set[int],
-    ) -> Iterator[DiscoveredADC]:
-        self.statistics.recursive_calls += 1
-        space = self.evidence.space
+        dead_pairs: int,
+        cand_words: np.ndarray,
+        cand_counts: np.ndarray,
+        counts_uncov: np.ndarray,
+    ) -> None:
+        statistics = self.statistics
+        statistics.recursive_calls += 1
+        total = self._total_pairs
+        pair_determined = self._pair_determined
+        function = self.function
+        epsilon = self.epsilon
 
         # Base case (Figure 4, lines 1-3): report S when it passes the
         # threshold and is minimal.  Whenever the threshold is met, no strict
         # superset can be a *minimal* ADC (monotonicity), so the branch ends.
-        if self._passes_lazy(uncov, uncovered_pairs):
-            if self._is_minimal(s_elements, crit, uncov, uncovered_pairs):
-                yield from self._emit(s_mask, uncov, seen_outputs)
+        if pair_determined:
+            passes = (
+                total == 0
+                or function.violation_score_from_pair_fraction(
+                    uncovered_pairs / total, total
+                )
+                <= epsilon
+            )
+        else:
+            passes = self._passes_lazy(uncov, uncovered_pairs)
+        if passes:
+            if self._is_minimal(s_elements, uncov, uncovered_pairs):
+                self._emit(s_elements, uncov, uncov_bits)
             return
 
         # Line 4: choose an uncovered evidence that may still be hit.  We
@@ -272,118 +368,190 @@ class ADCEnum:
         # list: an evidence without candidate predicates can never be hit in
         # this subtree, and because every approximation function here is
         # determined by the uncovered-evidence multiset, skipping it loses no
-        # minimal ADC (it simply stays uncovered).
-        cand_words = mask_to_words(cand, self._n_words)
-        overlap = (self._ev_words[uncov] & cand_words).any(axis=1)
-        hittable = can_hit[uncov]
-        selectable = uncov[hittable & overlap]
-        if selectable.size == 0:
+        # minimal ADC (it simply stays uncovered).  The intersection sizes
+        # come from the threaded cand_counts vector; they also answer the
+        # max/min selection rule without another popcount pass.
+        selectable_positions = (cand_counts > 0).nonzero()[0]
+        if selectable_positions.size == 0:
             return
-        chosen = self._choose_evidence(selectable, cand_words)
-        chosen_mask = self.evidence.masks[chosen]
+        if self.selection == "random":
+            chosen_position = int(
+                selectable_positions[statistics.recursive_calls % selectable_positions.size]
+            )
+        else:
+            intersections = cand_counts.take(selectable_positions)
+            if self.selection == "max":
+                chosen_position = int(selectable_positions[int(intersections.argmax())])
+            else:
+                chosen_position = int(selectable_positions[int(intersections.argmin())])
+        chosen_words = ev_uncov[:, chosen_position]
 
         # ------------------------------------------------------------------
         # First recursive call (lines 7-12): do NOT hit the chosen evidence.
         # ------------------------------------------------------------------
-        reduced_cand = cand & ~chosen_mask
-        reduced_words = mask_to_words(reduced_cand, self._n_words)
-        reduced_overlap = (self._ev_words[uncov] & reduced_words).any(axis=1)
-        blocked = uncov[hittable & ~reduced_overlap]
-        will_cover_uncov = uncov[~reduced_overlap]
-        will_cover_pairs = int(self._counts[will_cover_uncov].sum())
-        if self._passes_lazy(will_cover_uncov, will_cover_pairs):
-            self.statistics.skip_branches += 1
-            can_hit[blocked] = False
-            yield from self._search(
-                s_mask, s_elements, crit, uncov, uncovered_pairs,
-                reduced_cand, can_hit, seen_outputs,
+        to_try = cand_words & chosen_words
+        reduced_cand = cand_words & ~chosen_words
+        delta = self._intersection_counts(ev_uncov, to_try)
+        reduced_counts = cand_counts - delta
+        lost_positions = (reduced_counts <= 0).nonzero()[0]
+        will_cover_pairs = dead_pairs + int(
+            np.add.reduce(counts_uncov.take(lost_positions))
+        )
+        if pair_determined:
+            will_cover_passes = (
+                function.violation_score_from_pair_fraction(
+                    will_cover_pairs / total, total
+                )
+                <= epsilon
             )
-            can_hit[blocked] = True
         else:
-            self.statistics.pruned_by_willcover += 1
+            will_cover_passes = self._passes_lazy(
+                uncov.take(lost_positions), will_cover_pairs
+            )
+        if will_cover_passes:
+            statistics.skip_branches += 1
+            if pair_determined:
+                # Dead-evidence compaction: an evidence with no candidate
+                # overlap can never be covered or selected anywhere in this
+                # subtree (every future element comes from the shrinking
+                # candidate set), so only its pair total still matters.
+                # Dropping it shrinks every descendant's vectors; its pairs
+                # move into the dead_pairs scalar.
+                alive_positions = (reduced_counts > 0).nonzero()[0]
+                self._search(
+                    s_elements,
+                    None,
+                    ev_uncov.take(alive_positions, axis=1),
+                    uncov_bits,
+                    uncovered_pairs,
+                    will_cover_pairs,
+                    reduced_cand,
+                    reduced_counts.take(alive_positions),
+                    counts_uncov.take(alive_positions),
+                )
+            else:
+                self._search(
+                    s_elements, uncov, ev_uncov, uncov_bits, uncovered_pairs,
+                    dead_pairs, reduced_cand, reduced_counts, counts_uncov,
+                )
+        else:
+            statistics.pruned_by_willcover += 1
 
         # ------------------------------------------------------------------
         # Second recursive call (lines 13-22): hit the chosen evidence with
-        # each candidate predicate in turn (the MMCS expansion).
+        # each candidate predicate in turn (the MMCS expansion).  The
+        # criticality planes and child uncovered bitsets are gathered in one
+        # batch up front; a predicate's coverage row over uncov is read off
+        # a single word column of the threaded ev_uncov plane, and after a
+        # criticality prune the per-element work is zero.  reduced_cand is
+        # reused as the loop's candidate plane: the skip subtree has fully
+        # returned, so mutating it via set_bit is safe.
         # ------------------------------------------------------------------
         if self.max_dc_size is not None and len(s_elements) >= self.max_dc_size:
             return
-        to_try = chosen_mask & cand
-        cand &= ~chosen_mask
-        for element in iter_bits(to_try):
-            element_contains = self._contains[element]
-            covered_here = element_contains[uncov]
-            newly_covered = uncov[covered_here]
-            remaining_uncov = uncov[~covered_here]
-            covered_pairs = int(self._counts[newly_covered].sum())
-            crit[element] = set(newly_covered.tolist())
-            removed_from_crit: dict[int, list[int]] = {}
-            for member in s_elements:
-                critical = crit[member]
-                if not critical:
-                    continue
-                critical_array = np.fromiter(critical, dtype=np.int64, count=len(critical))
-                removed_array = critical_array[element_contains[critical_array]]
-                if removed_array.size:
-                    removed = removed_array.tolist()
-                    removed_from_crit[member] = removed
-                    crit[member].difference_update(removed)
-
-            if all(crit[member] for member in s_elements):
-                self.statistics.hit_branches += 1
-                pruned_cand = cand & ~space.group_mask(element)
+        cand_loop = reduced_cand
+        elements = word_bits_list(to_try)
+        covers_block = self._contains_ev_words[elements]
+        crit_block = covers_block & uncov_bits
+        child_bits_block = uncov_bits & ~covers_block
+        group_words_inv = self._group_words_inv
+        bit_table = _BIT_TABLE
+        crit = self._crit
+        for position, element in enumerate(elements):
+            viable, removed_crit = crit.apply(
+                crit_block[position], covers_block[position]
+            )
+            if viable:
+                statistics.hit_branches += 1
+                keep_positions = (
+                    (ev_uncov[element >> 6] & bit_table[element & 63]) == 0
+                ).nonzero()[0]
+                counts_remaining = counts_uncov.take(keep_positions)
+                # Pairs still uncovered in the child = pairs of the kept
+                # evidences plus the compacted dead ones; the covered-pair
+                # delta needs no extra pass.
+                remaining_pairs = dead_pairs + int(np.add.reduce(counts_remaining))
+                ev_remaining = ev_uncov.take(keep_positions, axis=1)
+                child_cand = cand_loop & group_words_inv[element]
+                child_counts = self._intersection_counts(ev_remaining, child_cand)
                 s_elements.append(element)
-                yield from self._search(
-                    s_mask | (1 << element),
+                self._search(
                     s_elements,
-                    crit,
-                    remaining_uncov,
-                    uncovered_pairs - covered_pairs,
-                    pruned_cand,
-                    can_hit,
-                    seen_outputs,
+                    None if uncov is None else uncov.take(keep_positions),
+                    ev_remaining,
+                    child_bits_block[position],
+                    remaining_pairs,
+                    dead_pairs,
+                    child_cand,
+                    child_counts,
+                    counts_remaining,
                 )
                 s_elements.pop()
-                cand |= 1 << element
+                set_bit(cand_loop, element)
             else:
-                self.statistics.pruned_by_criticality += 1
-
-            crit.pop(element, None)
-            for member, removed in removed_from_crit.items():
-                crit[member].update(removed)
+                statistics.pruned_by_criticality += 1
+            crit.undo(removed_crit)
 
     # ------------------------------------------------------------------
     # Bookkeeping helpers
     # ------------------------------------------------------------------
-    def _choose_evidence(self, selectable: np.ndarray, cand_words: np.ndarray) -> int:
-        """Pick the next evidence to branch on according to the strategy."""
-        if self.selection == "random":
-            return int(selectable[self.statistics.recursive_calls % selectable.size])
-        intersections = np.bitwise_count(
-            self._ev_words[selectable] & cand_words
-        ).sum(axis=1)
-        if self.selection == "max":
-            return int(selectable[int(np.argmax(intersections))])
-        return int(selectable[int(np.argmin(intersections))])
+    @staticmethod
+    def _intersection_counts(ev_planes: np.ndarray, mask_words: np.ndarray) -> np.ndarray:
+        """Per-evidence ``|evidence ∩ mask|`` over transposed word planes.
+
+        Unrolls the word axis into contiguous 1-D popcounts, which numpy
+        executes far faster than a broadcast-and-reduce over the row-major
+        layout (predicate spaces rarely span more than a handful of words).
+        """
+        n_words = ev_planes.shape[0]
+        if n_words == 1:
+            return popcount(ev_planes[0] & mask_words[0]).astype(np.int64)
+        if n_words == 2:
+            return np.add(
+                popcount(ev_planes[0] & mask_words[0]),
+                popcount(ev_planes[1] & mask_words[1]),
+                dtype=np.int64,
+            )
+        counts = popcount(ev_planes[0] & mask_words[0]).astype(np.int64)
+        for word in range(1, n_words):
+            counts += popcount(ev_planes[word] & mask_words[word])
+        return counts
 
     def _emit(
         self,
-        s_mask: int,
-        uncov: np.ndarray,
-        seen_outputs: set[int],
-    ) -> Iterator[DiscoveredADC]:
-        """Build the DC from the hitting set and report it if nontrivial."""
-        if s_mask == 0 or s_mask in seen_outputs:
+        s_elements: list[int],
+        uncov: np.ndarray | None,
+        uncov_bits: np.ndarray,
+    ) -> None:
+        """Build the DC from the hitting set and record it if nontrivial.
+
+        In pair-determined mode the recursion does not thread the uncovered
+        index array (see :meth:`iter_adcs`); it is rebuilt here — emission is
+        rare — from the packed uncovered bitset, which still carries every
+        uncovered evidence including the compacted dead ones.
+        """
+        s_mask = 0
+        for element in s_elements:
+            s_mask |= 1 << element
+        if s_mask == 0 or s_mask in self._seen_outputs:
             return
         space = self.evidence.space
-        dc_predicates = [space[space.complement_index(index)] for index in iter_bits(s_mask)]
+        complements = space.complement_indices
+        dc_predicates = []
+        for index in iter_bits(s_mask):
+            complement = int(complements[index])
+            if complement < 0:
+                space.complement_index(index)  # raises the canonical KeyError
+            dc_predicates.append(space[complement])
         constraint = DenialConstraint(dc_predicates)
         if constraint.is_trivial():
             return
-        seen_outputs.add(s_mask)
+        self._seen_outputs.add(s_mask)
+        if uncov is None:
+            uncov = unpack_bits(uncov_bits, self._n_evidences).nonzero()[0]
         score = self.function.violation_score(self.evidence, uncov)
         self.statistics.outputs += 1
-        yield DiscoveredADC(constraint, s_mask, score)
+        self._results.append(DiscoveredADC(constraint, s_mask, score))
 
 
 def enumerate_adcs(

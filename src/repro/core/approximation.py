@@ -52,6 +52,14 @@ class ApproximationFunction(abc.ABC):
     #: structure (the ``vios`` table of Figure 2).
     requires_participation: bool = False
 
+    #: Whether the score is *fully* determined by the violating-pair
+    #: fraction, i.e. :meth:`violation_score_from_pair_fraction` returns a
+    #: value for **every** input.  The enumerator uses this declaration to
+    #: collapse its threshold tests to scalar arithmetic and compact away
+    #: per-evidence state; a partial shortcut (non-None for some fractions
+    #: only) must leave this False.
+    pair_determined: bool = False
+
     @abc.abstractmethod
     def violation_score(
         self, evidence: EvidenceSet, uncovered_indices: Collection[int]
@@ -114,6 +122,7 @@ class F1(ApproximationFunction):
 
     name = "f1"
     pair_bound_factor = 1.0
+    pair_determined = True
 
     def violation_score(
         self, evidence: EvidenceSet, uncovered_indices: Collection[int]
@@ -205,6 +214,7 @@ class F1Adjusted(ApproximationFunction):
 
     name = "f1'"
     pair_bound_factor = None
+    pair_determined = True
 
     def __init__(self, confidence_z: float) -> None:
         if confidence_z < 0:

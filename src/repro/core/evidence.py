@@ -32,6 +32,7 @@ from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
+from repro.core.bitset import n_words_for_bits
 from repro.core.predicate_space import PredicateSpace, iter_bits
 from repro.core.predicates import Predicate
 
@@ -40,28 +41,31 @@ _WORD_MASK = 0xFFFFFFFFFFFFFFFF
 
 
 def n_words_for(n_predicates: int) -> int:
-    """Number of uint64 words needed to hold ``n_predicates`` bits."""
-    return max(1, (n_predicates + _WORD_BITS - 1) // _WORD_BITS)
+    """Number of uint64 words needed to hold ``n_predicates`` bits.
+
+    Alias of :func:`repro.core.bitset.n_words_for_bits`, kept under the
+    historical name for the evidence-pipeline callers.
+    """
+    return n_words_for_bits(n_predicates)
 
 
 def mask_to_words(mask: int, n_words: int) -> np.ndarray:
     """Split a Python-int predicate mask into its uint64 word vector.
 
-    This is the single mask→word helper shared by the enumerators for
-    hitting-set and candidate masks.
+    This is the single mask→word helper shared by the boundary code that
+    still accepts arbitrary-precision bitmasks (set-cover queries, tests);
+    the enumeration recursion itself never converts — it runs on word
+    vectors end to end.  Bits beyond ``n_words * 64`` are discarded.
     """
-    words = np.zeros(n_words, dtype=np.uint64)
-    for word in range(n_words):
-        words[word] = (mask >> (_WORD_BITS * word)) & _WORD_MASK
-    return words
+    mask = int(mask) & ((1 << (_WORD_BITS * n_words)) - 1)
+    data = mask.to_bytes(n_words * 8, "little")
+    return np.frombuffer(data, dtype="<u8").astype(np.uint64)
 
 
 def words_to_mask(words: np.ndarray | Sequence[int]) -> int:
     """Assemble a uint64 word vector back into a Python-int bitmask."""
-    mask = 0
-    for position, word in enumerate(np.asarray(words, dtype=np.uint64).tolist()):
-        mask |= int(word) << (_WORD_BITS * position)
-    return mask
+    array = np.ascontiguousarray(np.asarray(words, dtype=np.uint64))
+    return int.from_bytes(array.astype("<u8", copy=False).tobytes(), "little")
 
 
 def masks_to_words(masks: Sequence[int], n_words: int) -> np.ndarray:
@@ -106,6 +110,77 @@ def unique_word_rows(words: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndar
     rank = np.empty(len(rows), dtype=np.int64)
     rank[order] = np.arange(len(rows), dtype=np.int64)
     return rows[order], rank[inverse.ravel()], counts[order]
+
+
+class LazyMaskView(Sequence[int]):
+    """Chunk-lazy Python-int view of a packed uint64 word plane.
+
+    Converting a word row to an arbitrary-precision int costs Python-level
+    work per row, and the old eager ``EvidenceSet.masks`` list materialised
+    *every* row on first touch — an accidental hot-path landmine when the
+    enumerator read one mask per search node.  The hot paths now consume
+    ``EvidenceSet.words`` directly; this view serves the remaining cold
+    callers (display helpers, tests, the legacy reference enumerators) by
+    converting rows on demand in fixed-size chunks and caching each chunk,
+    so indexed access never pays for the rows it does not visit.
+
+    The view supports the full read-only sequence protocol plus value
+    equality against lists/tuples, which is what the existing callers (and
+    tests) use.
+    """
+
+    _CHUNK_ROWS = 1024
+
+    def __init__(self, words: np.ndarray) -> None:
+        self._words = words
+        self._chunks: dict[int, list[int]] = {}
+
+    def __len__(self) -> int:
+        return len(self._words)
+
+    def _chunk(self, chunk_index: int) -> list[int]:
+        cached = self._chunks.get(chunk_index)
+        if cached is None:
+            low = chunk_index * self._CHUNK_ROWS
+            block = np.ascontiguousarray(self._words[low: low + self._CHUNK_ROWS])
+            raw = block.astype("<u8", copy=False).tobytes()
+            stride = block.shape[1] * 8
+            cached = [
+                int.from_bytes(raw[row * stride: (row + 1) * stride], "little")
+                for row in range(block.shape[0])
+            ]
+            self._chunks[chunk_index] = cached
+        return cached
+
+    def __getitem__(self, index):  # type: ignore[override]
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(len(self)))]
+        index = int(index)
+        if index < 0:
+            index += len(self)
+        if not 0 <= index < len(self):
+            raise IndexError("mask index out of range")
+        return self._chunk(index // self._CHUNK_ROWS)[index % self._CHUNK_ROWS]
+
+    def __iter__(self) -> Iterator[int]:
+        for chunk_index in range((len(self) + self._CHUNK_ROWS - 1) // self._CHUNK_ROWS):
+            yield from self._chunk(chunk_index)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, LazyMaskView):
+            if other is self:
+                return True
+            other = list(other)
+        if isinstance(other, (list, tuple)):
+            return len(other) == len(self) and all(
+                mine == theirs for mine, theirs in zip(self, other)
+            )
+        return NotImplemented
+
+    __hash__ = None  # type: ignore[assignment]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LazyMaskView({len(self)} masks)"
 
 
 @dataclass(frozen=True)
@@ -161,7 +236,7 @@ class EvidenceSet:
         if words is None:
             if masks is None:
                 raise ValueError("either masks or words must be provided")
-            self._masks: list[int] | None = [int(mask) for mask in masks]
+            self._masks: Sequence[int] | None = [int(mask) for mask in masks]
             self.words = masks_to_words(self._masks, self.n_words)
         else:
             words = np.ascontiguousarray(words, dtype=np.uint64)
@@ -191,10 +266,16 @@ class EvidenceSet:
             yield mask, int(count)
 
     @property
-    def masks(self) -> list[int]:
-        """Python-int view of the evidence words (derived lazily, cached)."""
+    def masks(self) -> Sequence[int]:
+        """Chunk-lazy Python-int view of the evidence words.
+
+        Cold-path compatibility only: rows are converted to ints on demand
+        (see :class:`LazyMaskView`), so touching one mask no longer pays for
+        the whole evidence set.  Hot paths must read :attr:`words` instead —
+        the enumerators do.
+        """
         if self._masks is None:
-            self._masks = [words_to_mask(row) for row in self.words]
+            self._masks = LazyMaskView(self.words)
         return self._masks
 
     @property

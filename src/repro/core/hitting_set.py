@@ -6,8 +6,20 @@ approximate setting; the exact version is kept both as a reusable substrate
 (valid-DC discovery corresponds to epsilon = 0) and as a reference for the
 tests of Theorem 6.1.
 
-Subsets and hitting sets are represented as Python-int bitmasks over element
-indices ``0 .. n_elements - 1``.
+The public interface still speaks Python-int bitmasks over element indices
+``0 .. n_elements - 1`` (subsets in, minimal hitting sets out), but the
+search itself runs on the same word-native core as ADCEnum: subsets and the
+candidate set are packed uint64 word vectors, the uncovered family is a
+packed bitset over subset indices, and the criticality bookkeeping of
+UpdateCritUncov lives in :class:`~repro.core.bitset.CriticalityPlanes`.
+Sharing the representation means the Figure 6 family of comparisons measures
+algorithms, not representations.
+
+Subset selection uses the minimal-intersection rule recommended in [32],
+with ties broken towards the lowest subset index (the historical
+implementation iterated a Python set, which left the tie order unspecified;
+pinning it makes runs reproducible and lets the cross-check tests assert
+exact output order against :class:`repro.core.legacy_enum.LegacyMMCS`).
 """
 
 from __future__ import annotations
@@ -16,7 +28,20 @@ import sys
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Sequence
 
-from repro.core.predicate_space import iter_bits
+import numpy as np
+
+from repro.core.bitset import (
+    CriticalityPlanes,
+    bits_to_indices,
+    full_bits,
+    n_words_for_bits,
+    pack_bool_rows,
+    popcount,
+    set_bit,
+    unpack_bits,
+    word_bits_list,
+)
+from repro.core.evidence import masks_to_words
 
 
 @dataclass
@@ -53,87 +78,89 @@ class MMCS:
         return list(self.iter_minimal_hitting_sets())
 
     def iter_minimal_hitting_sets(self) -> Iterator[int]:
-        """Yield every minimal hitting set exactly once."""
+        """Yield every minimal hitting set exactly once.
+
+        All search state (packed planes, criticality bookkeeping) lives in
+        per-call locals, so several iterators over the same :class:`MMCS`
+        instance may be interleaved safely; only :attr:`statistics` is
+        shared, describing the most recently started run.
+        """
         self.statistics = MMCSStatistics()
         if any(subset == 0 for subset in self.subsets):
             # An empty subset can never be hit; there are no hitting sets.
             return
         sys.setrecursionlimit(max(sys.getrecursionlimit(), 10_000))
-        uncov = set(range(len(self.subsets)))
-        cand = (1 << self.n_elements) - 1
-        crit: dict[int, set[int]] = {}
-        yield from self._search(0, crit, uncov, cand)
+        # subset_words[s] is subset s packed over element bits;
+        # element_covers[e] is the transposed membership packed over subset
+        # bits (which subsets does element e hit) — the plane UpdateCritUncov
+        # intersects against.
+        n_element_words = n_words_for_bits(self.n_elements)
+        subset_words = masks_to_words(self.subsets, n_element_words)
+        membership = unpack_bits(subset_words, self.n_elements)
+        element_covers = pack_bool_rows(membership.T)
+        crit = CriticalityPlanes(len(self.subsets), self.n_elements + 1)
+        uncov_bits = full_bits(len(self.subsets))
+        cand_words = full_bits(self.n_elements)
+        yield from self._search(
+            [], uncov_bits, cand_words, subset_words, element_covers, crit
+        )
 
     # ------------------------------------------------------------------
     # Recursion
     # ------------------------------------------------------------------
     def _search(
         self,
-        current: int,
-        crit: dict[int, set[int]],
-        uncov: set[int],
-        cand: int,
+        elements: list[int],
+        uncov_bits: np.ndarray,
+        cand_words: np.ndarray,
+        subset_words: np.ndarray,
+        element_covers: np.ndarray,
+        crit: CriticalityPlanes,
     ) -> Iterator[int]:
         self.statistics.recursive_calls += 1
-        if not uncov:
+        if not uncov_bits.any():
             self.statistics.outputs += 1
-            yield current
+            mask = 0
+            for element in elements:
+                mask |= 1 << element
+            yield mask
             return
-        chosen = self._choose_subset(uncov, cand)
-        subset_mask = self.subsets[chosen]
-        to_try = subset_mask & cand
-        cand &= ~subset_mask
-        for element in iter_bits(to_try):
-            newly_covered, removed_from_crit = self._update_crit_uncov(element, current, crit, uncov)
-            if all(crit[member] for member in iter_bits(current)):
-                yield from self._search(current | (1 << element), crit, uncov, cand)
-                cand |= 1 << element
+        chosen = self._choose_subset(uncov_bits, cand_words, subset_words)
+        chosen_words = subset_words[chosen]
+        to_try = chosen_words & cand_words
+        cand_loop = cand_words & ~chosen_words
+        for element in word_bits_list(to_try):
+            covers = element_covers[element]
+            viable, removed = crit.apply(uncov_bits & covers, covers)
+            if viable:
+                elements.append(element)
+                yield from self._search(
+                    elements, uncov_bits & ~covers, cand_loop,
+                    subset_words, element_covers, crit,
+                )
+                elements.pop()
+                set_bit(cand_loop, element)
             else:
                 self.statistics.pruned_by_criticality += 1
-            self._undo_crit_uncov(element, crit, uncov, newly_covered, removed_from_crit)
+            crit.undo(removed)
 
-    def _choose_subset(self, uncov: set[int], cand: int) -> int:
+    def _choose_subset(
+        self,
+        uncov_bits: np.ndarray,
+        cand_words: np.ndarray,
+        subset_words: np.ndarray,
+    ) -> int:
         """Pick the uncovered subset with the fewest candidate elements.
 
         This is the selection rule recommended in [32]; ADCEnum flips it to
-        the maximum-intersection rule (Section 6.2, Figure 10).
+        the maximum-intersection rule (Section 6.2, Figure 10).  Ties go to
+        the lowest subset index.
         """
-        return min(uncov, key=lambda index: bin(self.subsets[index] & cand).count("1"))
-
-    def _update_crit_uncov(
-        self,
-        element: int,
-        current: int,
-        crit: dict[int, set[int]],
-        uncov: set[int],
-    ) -> tuple[list[int], dict[int, list[int]]]:
-        """Apply the UpdateCritUncov subroutine; return the changes for undo."""
-        element_bit = 1 << element
-        newly_covered = [index for index in uncov if self.subsets[index] & element_bit]
-        for index in newly_covered:
-            uncov.discard(index)
-        crit[element] = set(newly_covered)
-        removed_from_crit: dict[int, list[int]] = {}
-        for member in iter_bits(current):
-            removed = [index for index in crit[member] if self.subsets[index] & element_bit]
-            if removed:
-                removed_from_crit[member] = removed
-                crit[member].difference_update(removed)
-        return newly_covered, removed_from_crit
-
-    def _undo_crit_uncov(
-        self,
-        element: int,
-        crit: dict[int, set[int]],
-        uncov: set[int],
-        newly_covered: list[int],
-        removed_from_crit: dict[int, list[int]],
-    ) -> None:
-        """Revert the changes of :meth:`_update_crit_uncov`."""
-        uncov.update(newly_covered)
-        crit.pop(element, None)
-        for member, removed in removed_from_crit.items():
-            crit[member].update(removed)
+        uncovered = bits_to_indices(uncov_bits, len(self.subsets))
+        intersections = popcount(subset_words[uncovered] & cand_words).sum(
+            axis=1, dtype=np.int64
+        )
+        return int(uncovered[int(np.argmin(intersections))])
 
 
 def minimal_hitting_sets(subsets: Iterable[int], n_elements: int) -> list[int]:

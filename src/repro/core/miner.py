@@ -74,6 +74,8 @@ class MiningResult:
             f"  timings [s]:     space={self.timings.predicate_space:.3f} "
             f"sample={self.timings.sampling:.3f} evidence={self.timings.evidence:.3f} "
             f"enum={self.timings.enumeration:.3f} total={self.timings.total:.3f}",
+            f"  enumeration:     {self.enumeration_statistics.recursive_calls} nodes "
+            f"({self.enumeration_statistics.nodes_per_second:,.0f} nodes/s)",
         ]
         for adc in self.adcs[:limit]:
             lines.append(f"    {adc}")

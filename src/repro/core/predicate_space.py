@@ -18,6 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Sequence
 
+import numpy as np
+
 from repro.core.operators import NUMERIC_OPERATORS, STRING_OPERATORS, Operator
 from repro.core.predicates import Predicate, PredicateForm
 from repro.data.pli import shared_value_fraction
@@ -82,9 +84,24 @@ class PredicateSpace:
         for position, predicate in enumerate(self._predicates):
             groups.setdefault(predicate.group_key, []).append(position)
         self._groups: dict[tuple[str, str, PredicateForm], PredicateGroup] = {}
+        group_mask_by_key: dict[tuple[str, str, PredicateForm], int] = {}
         for key, indices in groups.items():
             numeric = any(self._predicates[i].operator.is_order for i in indices)
             self._groups[key] = PredicateGroup(key, tuple(indices), numeric)
+            mask = 0
+            for member in indices:
+                mask |= 1 << member
+            group_mask_by_key[key] = mask
+        # Per-index caches the enumerators read once per hit branch: the
+        # group bitmask of every predicate and the complement index table
+        # (-1 marks a predicate whose complement is outside the space).
+        self._group_masks: tuple[int, ...] = tuple(
+            group_mask_by_key[predicate.group_key] for predicate in self._predicates
+        )
+        self._complement_index_array = np.array(
+            [c if c is not None else -1 for c in self._complements], dtype=np.int64
+        )
+        self._complement_index_array.setflags(write=False)
 
     # ------------------------------------------------------------------
     # Sequence protocol
@@ -137,11 +154,22 @@ class PredicateSpace:
         return self._groups[self._predicates[index].group_key]
 
     def group_mask(self, index: int) -> int:
-        """Bitmask of all predicates sharing the group of ``index``."""
-        mask = 0
-        for member in self.group_of(index).indices:
-            mask |= 1 << member
-        return mask
+        """Bitmask of all predicates sharing the group of ``index`` (cached)."""
+        return self._group_masks[index]
+
+    @property
+    def group_masks(self) -> tuple[int, ...]:
+        """Per-index group bitmasks, precomputed at construction."""
+        return self._group_masks
+
+    @property
+    def complement_indices(self) -> np.ndarray:
+        """Read-only int64 array mapping each index to its complement's index.
+
+        Entries are ``-1`` for predicates whose complement is not in the
+        space (:meth:`complement_index` raises for those).
+        """
+        return self._complement_index_array
 
     @property
     def groups(self) -> tuple[PredicateGroup, ...]:
