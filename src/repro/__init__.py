@@ -47,6 +47,11 @@ from repro.core import (
     enumerate_adcs,
     mine_adcs,
 )
+from repro.incremental import (
+    DeltaEvidenceBuilder,
+    EvidenceStore,
+    ViolationService,
+)
 
 __version__ = "1.0.0"
 
@@ -79,4 +84,7 @@ __all__ = [
     "ADCMiner",
     "MiningResult",
     "mine_adcs",
+    "DeltaEvidenceBuilder",
+    "EvidenceStore",
+    "ViolationService",
 ]

@@ -328,21 +328,46 @@ class EvidenceSet:
     # ------------------------------------------------------------------
     # Queries used by the enumerators, approximation functions and tests
     # ------------------------------------------------------------------
-    def _unhit(self, hitting_mask: int) -> np.ndarray:
-        """Boolean vector of evidences with empty intersection with the mask."""
-        hitting_words = mask_to_words(hitting_mask, self.n_words)
+    def hitting_words(self, hitting: "int | np.ndarray | Sequence[int]") -> np.ndarray:
+        """Normalise a hitting set to its ``(n_words,)`` uint64 word vector.
+
+        Accepts either an arbitrary-precision Python-int bitmask (the
+        historical form) or an already-packed word vector, which callers on
+        the serving path (:class:`~repro.incremental.serve.ViolationService`,
+        the repair ranking) pass to stay off the Python-int conversion.
+        """
+        if isinstance(hitting, (int, np.integer)):
+            return mask_to_words(int(hitting), self.n_words)
+        words = np.ascontiguousarray(np.asarray(hitting, dtype=np.uint64))
+        if words.shape != (self.n_words,):
+            raise ValueError(
+                f"hitting words must have shape ({self.n_words},); got {words.shape}"
+            )
+        return words
+
+    def _unhit(self, hitting_mask: "int | np.ndarray") -> np.ndarray:
+        """Boolean vector of evidences with empty intersection with the mask.
+
+        ``hitting_mask`` is a Python-int bitmask or a packed ``(n_words,)``
+        uint64 vector; the word form skips the int→word conversion entirely.
+        """
+        hitting_words = self.hitting_words(hitting_mask)
         return ~(self.words & hitting_words).any(axis=1)
 
-    def uncovered_indices(self, hitting_mask: int) -> list[int]:
+    def uncovered_indices(self, hitting_mask: "int | np.ndarray") -> list[int]:
         """Indices of evidences with empty intersection with ``hitting_mask``.
 
         In DC terms these are the evidences of the pairs *violating* the DC
-        whose complement-predicate set is ``hitting_mask``.
+        whose complement-predicate set is ``hitting_mask`` (given as a
+        Python-int bitmask or a packed uint64 word vector).
         """
         return np.flatnonzero(self._unhit(hitting_mask)).tolist()
 
-    def uncovered_pair_count(self, hitting_mask: int) -> int:
-        """Number of pairs whose evidence is not hit by ``hitting_mask``."""
+    def uncovered_pair_count(self, hitting_mask: "int | np.ndarray") -> int:
+        """Number of pairs whose evidence is not hit by ``hitting_mask``.
+
+        Accepts the mask as a Python int or a packed uint64 word vector.
+        """
         return int(self.counts[self._unhit(hitting_mask)].sum())
 
     def pair_count_of(self, evidence_indices: Iterable[int]) -> int:

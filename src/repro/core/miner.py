@@ -84,6 +84,31 @@ class MiningResult:
         return "\n".join(lines)
 
 
+def run_enumeration(
+    evidence: EvidenceSet,
+    function: ApproximationFunction,
+    epsilon: float,
+    selection: SelectionStrategy = "max",
+    max_dc_size: int | None = None,
+) -> tuple[list[DiscoveredADC], EnumerationStatistics]:
+    """Run ADCEnum over an evidence set, returning the ADCs and statistics.
+
+    This is the enumeration step of the pipeline factored out so that both
+    :meth:`ADCMiner.mine` and the incremental store's
+    :meth:`~repro.incremental.store.EvidenceStore.remine` feed word planes
+    into the same enumerator call.
+    """
+    enumerator = ADCEnum(
+        evidence,
+        function,
+        epsilon,
+        selection=selection,
+        max_dc_size=max_dc_size,
+    )
+    adcs = enumerator.enumerate()
+    return adcs, enumerator.statistics
+
+
 class ADCMiner:
     """The ADCMiner algorithm of Figure 1.
 
@@ -186,14 +211,13 @@ class ADCMiner:
             function = adjusted_function(plan.sample_pairs, self.alpha)
 
         started = time.perf_counter()
-        enumerator = ADCEnum(
+        adcs, enum_statistics = run_enumeration(
             evidence,
             function,
             self.epsilon,
             selection=self.selection,
             max_dc_size=self.max_dc_size,
         )
-        adcs = enumerator.enumerate()
         timings.enumeration = time.perf_counter() - started
 
         return MiningResult(
@@ -204,7 +228,7 @@ class ADCMiner:
             function_name=function.name,
             epsilon=self.epsilon,
             timings=timings,
-            enumeration_statistics=enumerator.statistics,
+            enumeration_statistics=enum_statistics,
         )
 
 

@@ -21,8 +21,10 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
+from typing import Iterable, Sequence
 
 import networkx as nx
+import numpy as np
 
 from repro.core.dc import DenialConstraint
 from repro.data.relation import Relation
@@ -34,6 +36,20 @@ class ConflictGraph:
 
     n_tuples: int
     edges: frozenset[tuple[int, int]]
+
+    @classmethod
+    def from_pairs(
+        cls, n_tuples: int, pairs: Iterable[tuple[int, int]]
+    ) -> "ConflictGraph":
+        """Build a conflict graph from externally computed violating pairs.
+
+        This is how the incremental serving layer
+        (:class:`~repro.incremental.serve.ViolationService`) hands its
+        tile-replayed violation pairs to the repair machinery without going
+        through the quadratic per-pair re-evaluation of
+        :func:`build_conflict_graph`.
+        """
+        return cls(int(n_tuples), frozenset((int(u), int(v)) for u, v in pairs))
 
     @property
     def n_violations(self) -> int:
@@ -121,6 +137,21 @@ def vertex_cover_greedy(graph: ConflictGraph) -> set[int]:
         cover.add(node)
         undirected.remove_node(node)
     return cover
+
+
+def rank_tuples_by_violations(scores: "Sequence[int] | np.ndarray") -> list[int]:
+    """Rank tuple indices by violation score, worst offender first.
+
+    ``scores[t]`` is the number of violating pairs tuple ``t`` participates
+    in — the ``v(t)`` vector of the paper's ``SortTuples`` (Figure 2), which
+    the greedy cardinality-repair heuristics peel from the top.  Ties break
+    on the lower tuple index so the ranking is deterministic; tuples with a
+    zero score are omitted (they need no repair).
+    """
+    array = np.asarray(scores, dtype=np.int64)
+    involved = np.flatnonzero(array > 0)
+    order = involved[np.argsort(-array[involved], kind="stable")]
+    return order.tolist()
 
 
 # ----------------------------------------------------------------------

@@ -84,9 +84,11 @@ class Relation:
             self._columns[column_name] = Column(column_name, column_type, array)
         self._n_rows = lengths.pop() if lengths else 0
         # Per-column string factorization cache (see string_codes): maps a
-        # column name to its (sorted unique strings, per-row codes) pair, and
+        # column name to its (value -> code lookup, per-row codes) pair, and
         # an ordered column pair to its jointly comparable code arrays.
-        self._factorization_cache: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+        # Codes follow first-appearance order, so appending rows never
+        # changes an existing row's code (see append_rows).
+        self._factorization_cache: dict[str, tuple[dict[str, int], np.ndarray]] = {}
         self._pair_codes_cache: dict[tuple[str, str], tuple[np.ndarray, np.ndarray]] = {}
 
     # ------------------------------------------------------------------
@@ -151,18 +153,36 @@ class Relation:
     # ------------------------------------------------------------------
     # Cached string factorization (evidence-builder support)
     # ------------------------------------------------------------------
-    def _column_factorization(self, name: str) -> tuple[np.ndarray, np.ndarray]:
-        """Sorted unique strings of a column and the per-row codes into them.
+    def _column_factorization(self, name: str) -> tuple[dict[str, int], np.ndarray]:
+        """Value→code lookup of a column and the per-row codes into it.
 
         Computed once per column and cached for the relation's lifetime;
         every predicate group over the column reuses it on every evidence
         build instead of re-running ``np.unique`` string factorization.
+        Codes are assigned in first-appearance order, which keeps them
+        *stable under appends*: :meth:`append_rows` extends the lookup and
+        code array for the new rows without touching existing codes, so an
+        incremental evidence build sees the same equality structure a full
+        rebuild would.
         """
         cached = self._factorization_cache.get(name)
         if cached is None:
             values = np.asarray([str(v) for v in self.column(name).values.tolist()])
-            uniques, codes = np.unique(values, return_inverse=True)
-            cached = (uniques, codes.ravel().astype(np.int64))
+            if len(values) == 0:
+                cached = ({}, np.zeros(0, dtype=np.int64))
+            else:
+                uniques, first_index, inverse = np.unique(
+                    values, return_index=True, return_inverse=True
+                )
+                # Remap np.unique's sorted codes onto first-appearance order.
+                order = np.argsort(first_index, kind="stable")
+                rank = np.empty(len(uniques), dtype=np.int64)
+                rank[order] = np.arange(len(uniques), dtype=np.int64)
+                lookup = {
+                    str(value): int(rank[position])
+                    for position, value in enumerate(uniques.tolist())
+                }
+                cached = (lookup, rank[inverse.ravel()])
             self._factorization_cache[name] = cached
         return cached
 
@@ -175,19 +195,106 @@ class Relation:
         merged vocabulary (work proportional to the number of distinct
         values, not the number of rows).
         """
-        left_uniques, left_codes = self._column_factorization(left)
+        left_lookup, left_codes = self._column_factorization(left)
         if left == right:
             return left_codes, left_codes
         cached = self._pair_codes_cache.get((left, right))
         if cached is None:
-            right_uniques, right_codes = self._column_factorization(right)
-            vocabulary = np.unique(np.concatenate([left_uniques, right_uniques]))
-            cached = (
-                np.searchsorted(vocabulary, left_uniques)[left_codes],
-                np.searchsorted(vocabulary, right_uniques)[right_codes],
-            )
+            right_lookup, right_codes = self._column_factorization(right)
+            joint: dict[str, int] = {}
+            for value in left_lookup:
+                joint[value] = len(joint)
+            for value in right_lookup:
+                if value not in joint:
+                    joint[value] = len(joint)
+            left_map = np.empty(len(left_lookup), dtype=np.int64)
+            for value, code in left_lookup.items():
+                left_map[code] = joint[value]
+            right_map = np.empty(len(right_lookup), dtype=np.int64)
+            for value, code in right_lookup.items():
+                right_map[code] = joint[value]
+            cached = (left_map[left_codes], right_map[right_codes])
             self._pair_codes_cache[(left, right)] = cached
         return cached
+
+    # ------------------------------------------------------------------
+    # Appending (incremental-store support)
+    # ------------------------------------------------------------------
+    def append_rows(self, rows: "Relation | Iterable[Mapping[str, object]]") -> int:
+        """Append a batch of rows in place; returns the number of rows added.
+
+        ``rows`` is either a relation over the same schema or an iterable of
+        ``{column: value}`` records.  Values are coerced to the existing
+        column types (types are fixed by the schema, never re-inferred).
+
+        Cached string-factorization codes are *extended, not recomputed*:
+        existing rows keep their codes (first-appearance coding) and only the
+        new rows are factorized, so an incremental evidence build after an
+        append of ``m`` rows pays ``O(m)`` factorization work instead of
+        ``O(n + m)``.  Jointly-aligned pair codes are invalidated (they are
+        rebuilt from the per-column factorizations on demand, at cost
+        proportional to the number of distinct values).
+        """
+        if isinstance(rows, Relation):
+            if rows.column_names != self.column_names:
+                raise ValueError(
+                    f"cannot append relation with schema {rows.column_names} "
+                    f"to schema {self.column_names}"
+                )
+            batch = {name: rows.column(name).values.tolist() for name in self.column_names}
+            n_new = rows.n_rows
+        else:
+            records = list(rows)
+            for record in records:
+                missing = [name for name in self.column_names if name not in record]
+                if missing:
+                    raise ValueError(f"appended row is missing columns {missing}")
+            batch = {
+                name: [record[name] for record in records] for name in self.column_names
+            }
+            n_new = len(records)
+        if n_new == 0:
+            return 0
+
+        # Coerce every column before mutating any, so a bad value in one
+        # column (streaming data is dirty by premise) cannot leave the
+        # relation with columns of unequal length.
+        extensions: dict[str, np.ndarray] = {}
+        for name, column in self._columns.items():
+            coerced = coerce_values(batch[name], column.type)
+            if column.type is ColumnType.INTEGER:
+                extensions[name] = np.asarray(coerced, dtype=np.int64)
+            elif column.type is ColumnType.FLOAT:
+                extensions[name] = np.asarray(coerced, dtype=np.float64)
+            else:
+                extensions[name] = np.asarray(coerced, dtype=object)
+        for name, column in list(self._columns.items()):
+            self._columns[name] = Column(
+                name, column.type, np.concatenate([column.values, extensions[name]])
+            )
+
+        # Extend the per-column factorizations for the new rows only.  The
+        # lookup dict is replaced (not mutated) so copies sharing the old
+        # cache entry keep seeing a consistent snapshot.
+        for name, (lookup, codes) in list(self._factorization_cache.items()):
+            extended_lookup = dict(lookup)
+            new_codes = np.empty(n_new, dtype=np.int64)
+            new_values = self._columns[name].values[self._n_rows:]
+            for position, value in enumerate(new_values.tolist()):
+                text = str(value)
+                code = extended_lookup.get(text)
+                if code is None:
+                    code = len(extended_lookup)
+                    extended_lookup[text] = code
+                new_codes[position] = code
+            self._factorization_cache[name] = (
+                extended_lookup,
+                np.concatenate([codes, new_codes]),
+            )
+        self._pair_codes_cache.clear()
+
+        self._n_rows += n_new
+        return n_new
 
     # ------------------------------------------------------------------
     # Derived relations
@@ -225,10 +332,19 @@ class Relation:
         return self.take(indices)
 
     def copy(self) -> "Relation":
-        """Return a deep copy (noise injection mutates copies, never inputs)."""
+        """Return a deep copy (noise injection mutates copies, never inputs).
+
+        Cached string factorizations carry over: the cached arrays and lookup
+        dicts are never mutated in place (``append_rows`` replaces them), so
+        sharing them between copies is safe and spares the copy a full
+        refactorization on its first evidence build.
+        """
         data = {name: col.values.copy() for name, col in self._columns.items()}
         types = {name: col.type for name, col in self._columns.items()}
-        return Relation(self.name, data, types)
+        duplicate = Relation(self.name, data, types)
+        duplicate._factorization_cache = dict(self._factorization_cache)
+        duplicate._pair_codes_cache = dict(self._pair_codes_cache)
+        return duplicate
 
     def with_values(self, column: str, values: np.ndarray) -> "Relation":
         """Return a copy of the relation with one column replaced."""

@@ -30,6 +30,7 @@ from repro.engine.scheduler import (
     Tile,
     TileScheduler,
     choose_tile_rows,
+    shard_tiles,
 )
 from repro.engine.kernel import TileKernel, TilePartial, prepare_groups
 from repro.engine.partial import (
@@ -37,7 +38,11 @@ from repro.engine.partial import (
     participation_from_key_chunks,
     split_participation,
 )
-from repro.engine.parallel import build_evidence_set_parallel
+from repro.engine.parallel import (
+    build_evidence_set_parallel,
+    fold_tiles,
+    fold_tiles_pooled,
+)
 
 __all__ = [
     "DEFAULT_MEMORY_BUDGET_BYTES",
@@ -45,6 +50,7 @@ __all__ = [
     "Shard",
     "TileScheduler",
     "choose_tile_rows",
+    "shard_tiles",
     "TileKernel",
     "TilePartial",
     "prepare_groups",
@@ -52,4 +58,6 @@ __all__ = [
     "participation_from_key_chunks",
     "split_participation",
     "build_evidence_set_parallel",
+    "fold_tiles",
+    "fold_tiles_pooled",
 ]

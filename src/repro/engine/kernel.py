@@ -219,8 +219,16 @@ class TileKernel:
             include_participation,
         )
 
-    def run(self, tile: "Tile") -> TilePartial | None:
-        """Compute one tile's :class:`TilePartial` (``None`` if empty)."""
+    def tile_words(self, tile: "Tile") -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-pair evidence words of one tile, with the pair's tuple ids.
+
+        Returns ``(words, left_ids, right_ids)`` where ``words[k]`` is the
+        packed evidence word row of the ordered pair
+        ``(left_ids[k], right_ids[k])``; diagonal pairs are excluded.  This
+        is the un-deduplicated view :meth:`run` aggregates — the violation
+        serving layer replays it to reconstruct *which* pairs carry an
+        evidence, something the deduplicated evidence set no longer knows.
+        """
         i0, i1, j0, j1 = tile.i0, tile.i1, tile.j0, tile.j1
         plane = np.zeros((i1 - i0, j1 - j0, self.n_words), dtype=np.uint64)
         for group in self.groups:
@@ -235,6 +243,11 @@ class TileKernel:
             flat = flat[keep]
             left_ids = left_ids[keep]
             right_ids = right_ids[keep]
+        return flat, left_ids, right_ids
+
+    def run(self, tile: "Tile") -> TilePartial | None:
+        """Compute one tile's :class:`TilePartial` (``None`` if empty)."""
+        flat, left_ids, right_ids = self.tile_words(tile)
         if not len(flat):
             return None
 

@@ -31,6 +31,7 @@ from repro.engine.scheduler import (
     DEFAULT_MEMORY_BUDGET_BYTES,
     TileScheduler,
     choose_tile_rows,
+    shard_tiles,
 )
 
 if TYPE_CHECKING:
@@ -75,6 +76,49 @@ def _run_shard(shard_range: tuple[int, int]) -> PartialEvidenceSet:
     return fold_tiles(kernel, _worker_tiles[start:stop])
 
 
+def fold_tiles_pooled(
+    kernel: TileKernel,
+    tiles: tuple["Tile", ...],
+    n_workers: int,
+) -> PartialEvidenceSet:
+    """Fold kernel results over ``tiles``, pooling only when it pays.
+
+    The tile list is balanced into pair-count shards
+    (:func:`~repro.engine.scheduler.shard_tiles`) and fanned over a process
+    pool.  When ``n_workers <= 1``, or the schedule yields fewer shards than
+    workers (too little work to amortize fork/pickle spin-up), the call
+    falls through to the in-process serial fold — so single-worker callers
+    such as ``ADCMiner(n_workers=1)`` never pay executor overhead.
+
+    Both the full-grid builder and the incremental delta builder drive this
+    entry point, so their serial and pooled results are bit-identical by the
+    same merge-algebra argument.
+    """
+    if n_workers < 1:
+        raise ValueError("n_workers must be positive")
+    tiles = tuple(tiles)
+    if n_workers <= 1:
+        return fold_tiles(kernel, tiles)
+    shards = shard_tiles(tiles, SHARDS_PER_WORKER * n_workers)
+    if len(shards) < n_workers:
+        return fold_tiles(kernel, tiles)
+
+    with ProcessPoolExecutor(
+        max_workers=min(n_workers, len(shards)),
+        mp_context=_pool_context(),
+        initializer=_init_worker,
+        initargs=(kernel, tiles),
+    ) as pool:
+        partials = list(
+            pool.map(_run_shard, [(shard.start, shard.stop) for shard in shards])
+        )
+
+    merged = partials[0]
+    for partial in partials[1:]:
+        merged.merge(partial)
+    return merged
+
+
 def _pool_context() -> multiprocessing.context.BaseContext:
     """Prefer fork on Linux (cheap initargs, inherited sys.path).
 
@@ -87,7 +131,7 @@ def _pool_context() -> multiprocessing.context.BaseContext:
     return multiprocessing.get_context()
 
 
-def _parallel_tile_rows(
+def parallel_tile_rows(
     n_rows: int, n_words: int, n_workers: int, memory_budget_bytes: int
 ) -> int:
     """Adaptive tile edge for a pool of ``n_workers`` kernels.
@@ -130,8 +174,9 @@ def build_evidence_set_parallel(
         the memory budget, the word width and the worker count.
     n_workers:
         Worker processes; ``None`` uses ``os.cpu_count()``.  ``1`` runs
-        the schedule in-process without a pool (no fork/pickle overhead),
-        which is also the fallback when the schedule has a single tile.
+        the schedule in-process without a pool (no fork/pickle overhead);
+        the same fall-through applies whenever the schedule balances into
+        fewer shards than workers (see :func:`fold_tiles_pooled`).
     memory_budget_bytes:
         Total transient-memory budget shared by the concurrent kernels
         (only consulted when ``tile_rows`` is ``None``).
@@ -146,29 +191,10 @@ def build_evidence_set_parallel(
     n_words = n_words_for(len(space))
     if tile_rows is None:
         if n_workers > 1:
-            tile_rows = _parallel_tile_rows(n, n_words, n_workers, memory_budget_bytes)
+            tile_rows = parallel_tile_rows(n, n_words, n_workers, memory_budget_bytes)
         else:
             tile_rows = choose_tile_rows(n, n_words, memory_budget_bytes)
 
     scheduler = TileScheduler(n, tile_rows=tile_rows, n_words=n_words)
     kernel = TileKernel.from_relation(relation, space, include_participation)
-    tiles = scheduler.tiles()
-
-    if n_workers == 1 or len(tiles) == 1:
-        return fold_tiles(kernel, tiles).finalize(space)
-
-    shards = scheduler.shards(SHARDS_PER_WORKER * n_workers)
-    with ProcessPoolExecutor(
-        max_workers=min(n_workers, len(shards)),
-        mp_context=_pool_context(),
-        initializer=_init_worker,
-        initargs=(kernel, tiles),
-    ) as pool:
-        partials = list(
-            pool.map(_run_shard, [(shard.start, shard.stop) for shard in shards])
-        )
-
-    merged = partials[0]
-    for partial in partials[1:]:
-        merged.merge(partial)
-    return merged.finalize(space)
+    return fold_tiles_pooled(kernel, scheduler.tiles(), n_workers).finalize(space)

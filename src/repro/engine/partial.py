@@ -133,6 +133,35 @@ class PartialEvidenceSet:
             self._part_count_chunks.extend(other._part_count_chunks)
         return self
 
+    def rebase_rows(self, new_n_rows: int) -> "PartialEvidenceSet":
+        """Re-key the partial onto a grown relation of ``new_n_rows`` tuples.
+
+        Participation keys encode ``evidence_id * n_rows + tuple_id``, so a
+        partial accumulated against an ``n``-row relation cannot merge with
+        tiles of the appended ``n + m``-row relation until its keys are
+        rewritten under the new stride.  Tuple ids themselves are stable
+        (appends never renumber existing rows), so only the stride changes.
+        Chunk arrays are replaced, never mutated, keeping :meth:`copy`-shared
+        chunks intact.  Returns ``self`` for chaining.
+        """
+        if new_n_rows < self.n_rows:
+            raise ValueError(
+                f"cannot rebase partial of {self.n_rows} rows down to {new_n_rows}"
+            )
+        if new_n_rows == self.n_rows:
+            return self
+        if self.include_participation and self._part_key_chunks:
+            old_n = max(self.n_rows, 1)
+            new_n = int(new_n_rows)
+            rekeyed: list[np.ndarray] = []
+            for keys in self._part_key_chunks:
+                evidence_ids = keys // old_n
+                tuple_ids = keys - evidence_ids * old_n
+                rekeyed.append(evidence_ids * new_n + tuple_ids)
+            self._part_key_chunks = rekeyed
+        self.n_rows = int(new_n_rows)
+        return self
+
     def copy(self) -> "PartialEvidenceSet":
         """Independent copy (chunk arrays are shared, never mutated)."""
         duplicate = PartialEvidenceSet(self.n_rows, self.n_words, self.include_participation)

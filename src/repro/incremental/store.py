@@ -1,0 +1,246 @@
+"""The stateful evidence store behind streaming appends.
+
+:class:`EvidenceStore` is the long-lived object of the incremental
+subsystem: it owns a private snapshot of the relation, the unfinalized
+:class:`~repro.engine.partial.PartialEvidenceSet` accumulated so far, and
+the fixed predicate space everything is evaluated against.  ``append``
+grows the snapshot and folds in only the delta tiles
+(:class:`~repro.incremental.delta.DeltaEvidenceBuilder`); ``evidence``
+finalizes lazily and caches until the next append; ``remine`` feeds the
+finalized word planes straight into
+:class:`~repro.core.adc_enum.ADCEnum`.
+
+**Invariant** (property-tested over random append schedules): after any
+sequence of appends, ``evidence()`` is bit-identical — words, canonical
+order, multiplicities, tuple participation — to a full tiled rebuild on the
+concatenated relation with the store's predicate space.  The predicate
+space is therefore fixed at construction: re-deriving it from grown data
+would change the bit layout under the stored words.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
+
+from repro.core.approximation import get_approximation_function
+from repro.core.evidence import EvidenceSet
+from repro.core.miner import run_enumeration
+from repro.core.predicate_space import (
+    PredicateSpaceConfig,
+    build_predicate_space,
+)
+from repro.engine.kernel import TileKernel
+from repro.engine.scheduler import DEFAULT_MEMORY_BUDGET_BYTES, TileScheduler
+from repro.incremental.delta import DeltaEvidenceBuilder
+
+if TYPE_CHECKING:
+    from repro.core.adc_enum import DiscoveredADC, EnumerationStatistics, SelectionStrategy
+    from repro.core.approximation import ApproximationFunction
+    from repro.core.predicate_space import PredicateSpace
+    from repro.data.relation import Relation
+
+
+class EvidenceStore:
+    """Evidence of a growing relation, maintained one appended batch at a time.
+
+    Parameters
+    ----------
+    relation:
+        Initial relation; a private copy is taken, so the caller's object
+        never mutates under appends.
+    space:
+        Predicate space to evaluate; built from the initial relation with
+        ``space_config`` when omitted.  Fixed for the store's lifetime.
+    space_config:
+        Generation knobs used only when ``space`` is omitted.
+    include_participation:
+        Whether the ``vios`` tuple-participation structure is maintained
+        (required by f2/f3 remining and per-tuple violation scores).
+    tile_rows:
+        Tile edge of the evidence kernels; ``None`` adapts per build.
+    n_workers:
+        Process-pool width for the initial build and every delta
+        (``1`` = serial in-process fold, no executor overhead).
+    memory_budget_bytes:
+        Transient-memory budget driving the adaptive tile edge.
+    """
+
+    def __init__(
+        self,
+        relation: "Relation",
+        space: "PredicateSpace | None" = None,
+        space_config: PredicateSpaceConfig | None = None,
+        include_participation: bool = True,
+        tile_rows: int | None = None,
+        n_workers: int = 1,
+        memory_budget_bytes: int = DEFAULT_MEMORY_BUDGET_BYTES,
+    ) -> None:
+        self._relation = relation.copy()
+        self.space = space if space is not None else build_predicate_space(
+            self._relation, space_config
+        )
+        self._builder = DeltaEvidenceBuilder(
+            self.space,
+            include_participation=include_participation,
+            tile_rows=tile_rows,
+            n_workers=n_workers,
+            memory_budget_bytes=memory_budget_bytes,
+        )
+        self._partial = self._builder.full_partial(self._relation)
+        self._evidence: EvidenceSet | None = None
+        self._generation = 0
+        self.last_enumeration_statistics: "EnumerationStatistics | None" = None
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+    @property
+    def relation(self) -> "Relation":
+        """The store's relation snapshot (treat as read-only)."""
+        return self._relation
+
+    @property
+    def n_rows(self) -> int:
+        """Rows currently in the store."""
+        return self._relation.n_rows
+
+    @property
+    def generation(self) -> int:
+        """Number of appends absorbed since construction."""
+        return self._generation
+
+    @property
+    def include_participation(self) -> bool:
+        """Whether the tuple-participation structure is maintained."""
+        return self._builder.include_participation
+
+    @property
+    def builder(self) -> DeltaEvidenceBuilder:
+        """The delta builder holding the store's construction knobs."""
+        return self._builder
+
+    @property
+    def recorded_pairs(self) -> int:
+        """Ordered pairs covered by the stored partial."""
+        return self._partial.recorded_pairs
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"EvidenceStore(rows={self.n_rows}, "
+            f"evidences={len(self._partial)}, generation={self._generation})"
+        )
+
+    # ------------------------------------------------------------------
+    # Appending
+    # ------------------------------------------------------------------
+    def append(self, rows: "Relation | Iterable[Mapping[str, object]]") -> int:
+        """Absorb a batch of new rows; returns the number of rows appended.
+
+        Only the new-vs-old rectangles and the new-vs-new square of the pair
+        matrix are evaluated (``O(n·m + m²)`` pairs for ``m`` appended to
+        ``n``); the stored partial is re-keyed onto the grown relation and
+        the delta merged in.  The finalized-evidence cache is invalidated.
+
+        The append is atomic: the grown relation and its delta partial are
+        staged on the side and only swapped in once both succeed, so a
+        failure anywhere (a dirty value the column type rejects, a broken
+        worker pool) leaves the store exactly as it was — safe to fix the
+        batch and retry.
+        """
+        staged = self._relation.copy()
+        n_before = staged.n_rows
+        n_new = staged.append_rows(rows)
+        if n_new == 0:
+            return 0
+        delta = self._builder.delta_partial(staged, n_before)
+        # Commit point: nothing below computes, so nothing below fails.
+        self._relation = staged
+        self._partial.rebase_rows(staged.n_rows)
+        self._partial.merge(delta)
+        self._evidence = None
+        self._generation += 1
+        return n_new
+
+    def clone(self) -> "EvidenceStore":
+        """An independent store with the same state (cheap, copy-on-append).
+
+        The partial's chunk arrays are shared (they are never mutated in
+        place), so cloning costs only the dict/list copies — what the
+        incremental benchmark uses to replay different batch sizes against
+        one seed build.
+        """
+        duplicate = object.__new__(EvidenceStore)
+        # Share everything by default (space, builder, caches, and whatever
+        # attributes future versions add), then replace the two pieces of
+        # state that appends mutate.
+        duplicate.__dict__.update(self.__dict__)
+        duplicate._relation = self._relation.copy()
+        duplicate._partial = self._partial.copy()
+        duplicate.last_enumeration_statistics = None
+        return duplicate
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def evidence(self) -> EvidenceSet:
+        """The finalized evidence set of the current relation (cached).
+
+        Finalization resolves the accumulated chunks into the canonical
+        lexicographic word order; the result is cached until the next
+        :meth:`append` invalidates it.
+        """
+        if self._evidence is None:
+            self._evidence = self._partial.finalize(self.space)
+        return self._evidence
+
+    def remine(
+        self,
+        epsilon: float,
+        function: "ApproximationFunction | str" = "f1",
+        selection: "SelectionStrategy" = "max",
+        max_dc_size: int | None = None,
+    ) -> list["DiscoveredADC"]:
+        """Re-enumerate minimal ADCs over the store's current evidence.
+
+        The cached word planes go straight into
+        :class:`~repro.core.adc_enum.ADCEnum` — no evidence rebuild, no
+        representation change.  Enumeration statistics of the run are kept
+        in :attr:`last_enumeration_statistics`.
+        """
+        if isinstance(function, str):
+            function = get_approximation_function(function)
+        adcs, statistics = run_enumeration(
+            self.evidence(),
+            function,
+            epsilon,
+            selection=selection,
+            max_dc_size=max_dc_size,
+        )
+        self.last_enumeration_statistics = statistics
+        return adcs
+
+    # ------------------------------------------------------------------
+    # Replay support (violation serving)
+    # ------------------------------------------------------------------
+    def replay_kernel(self) -> TileKernel:
+        """A participation-free kernel over the current rows, for tile replay."""
+        return self._builder.kernel(self._relation, include_participation=False)
+
+    def replay_scheduler(self) -> TileScheduler:
+        """The full-grid schedule matching :meth:`replay_kernel`."""
+        return TileScheduler(
+            self.n_rows, tile_rows=self._builder.tile_edge(self.n_rows)
+        )
+
+    def probe_relation(
+        self, rows: "Relation | Iterable[Mapping[str, object]]"
+    ) -> tuple["Relation", int]:
+        """A *hypothetical* relation with ``rows`` appended, and the old size.
+
+        The store itself is untouched — this is what ``check_batch`` uses to
+        evaluate incoming rows before admitting them.
+        """
+        probe = self._relation.copy()
+        n_before = probe.n_rows
+        probe.append_rows(rows)
+        return probe, n_before

@@ -225,6 +225,36 @@ class TestParallelBuilder:
         with pytest.raises(ValueError):
             build_evidence_set_parallel(relation, space, n_workers=0)
 
+    def test_single_worker_never_spawns_a_pool(self, monkeypatch):
+        """ADCMiner(n_workers=1) must not pay executor spin-up (satellite)."""
+        import repro.engine.parallel as parallel_module
+
+        def forbidden(*args, **kwargs):  # pragma: no cover - failure path
+            raise AssertionError("ProcessPoolExecutor must not be created")
+
+        monkeypatch.setattr(parallel_module, "ProcessPoolExecutor", forbidden)
+        relation = make_random_relation(n_rows=12, seed=5)
+        space = build_predicate_space(relation)
+        serial = build_evidence_set_parallel(relation, space, tile_rows=3, n_workers=1)
+        assert_evidence_identical(
+            serial, build_evidence_set_tiled(relation, space, tile_rows=3)
+        )
+
+    def test_fewer_shards_than_workers_falls_through_to_serial(self, monkeypatch):
+        import repro.engine.parallel as parallel_module
+
+        def forbidden(*args, **kwargs):  # pragma: no cover - failure path
+            raise AssertionError("ProcessPoolExecutor must not be created")
+
+        monkeypatch.setattr(parallel_module, "ProcessPoolExecutor", forbidden)
+        # One tile -> one shard, far fewer than the requested workers.
+        relation = make_random_relation(n_rows=6, seed=2)
+        space = build_predicate_space(relation)
+        serial = build_evidence_set_parallel(relation, space, tile_rows=8, n_workers=8)
+        assert_evidence_identical(
+            serial, build_evidence_set_tiled(relation, space, tile_rows=8)
+        )
+
     def test_dispatcher_and_miner_integration(self):
         relation = make_random_relation(n_rows=14, seed=21)
         space = build_predicate_space(relation)

@@ -92,3 +92,95 @@ class TestEvidenceOperations:
 
     def test_describe_mentions_size(self, example_evidence):
         assert "distinct evidences" in example_evidence.describe()
+
+
+class TestWordNativeQueries:
+    """The hitting-set queries accept packed word vectors, not just ints."""
+
+    def test_word_vector_matches_int_mask(self, example_evidence):
+        from repro.core.evidence import mask_to_words
+
+        for mask in (0, 0b1, 0b1010, (1 << 5) | (1 << 20)):
+            words = mask_to_words(mask, example_evidence.n_words)
+            assert example_evidence.uncovered_indices(words) == (
+                example_evidence.uncovered_indices(mask)
+            )
+            assert example_evidence.uncovered_pair_count(words) == (
+                example_evidence.uncovered_pair_count(mask)
+            )
+
+    def test_hitting_words_normalises_both_forms(self, example_evidence):
+        import numpy as np
+        from repro.core.evidence import mask_to_words
+
+        mask = 0b1101
+        from_int = example_evidence.hitting_words(mask)
+        from_words = example_evidence.hitting_words(
+            mask_to_words(mask, example_evidence.n_words)
+        )
+        assert np.array_equal(from_int, from_words)
+
+    def test_wrong_width_word_vector_raises(self, example_evidence):
+        import numpy as np
+
+        with pytest.raises(ValueError):
+            example_evidence.uncovered_indices(
+                np.zeros(example_evidence.n_words + 1, dtype=np.uint64)
+            )
+
+
+class TestLazyMaskViewEdgeCases:
+    """Slicing/indexing corners of the chunk-lazy Python-int mask view."""
+
+    @pytest.fixture(scope="class")
+    def view_and_list(self, example_evidence):
+        view = example_evidence.masks
+        return view, list(view)
+
+    def test_negative_indices(self, view_and_list):
+        view, reference = view_and_list
+        for index in (-1, -2, -len(reference)):
+            assert view[index] == reference[index]
+
+    def test_out_of_range_raises(self, view_and_list):
+        view, reference = view_and_list
+        with pytest.raises(IndexError):
+            view[len(reference)]
+        with pytest.raises(IndexError):
+            view[-len(reference) - 1]
+
+    def test_out_of_range_slices_clamp_like_lists(self, view_and_list):
+        view, reference = view_and_list
+        n = len(reference)
+        assert view[: n + 100] == reference[: n + 100]
+        assert view[n + 1 :] == []
+        assert view[-2 * n : 3] == reference[-2 * n : 3]
+        assert view[5:2] == []
+
+    def test_step_slices(self, view_and_list):
+        view, reference = view_and_list
+        assert view[::2] == reference[::2]
+        assert view[1::3] == reference[1::3]
+        assert view[::-1] == reference[::-1]
+        assert view[10:2:-2] == reference[10:2:-2]
+
+    def test_equality_against_lists_and_tuples(self, view_and_list):
+        view, reference = view_and_list
+        assert view == reference
+        assert not (view == reference[:-1])
+        assert not (view == [mask + 1 for mask in reference])
+        assert view == view
+        assert view == tuple(reference)
+        assert view.__eq__(object()) is NotImplemented
+
+    def test_equality_against_other_views(self, example_evidence):
+        from repro.core.evidence import LazyMaskView
+
+        first = LazyMaskView(example_evidence.words)
+        second = LazyMaskView(example_evidence.words)
+        assert first == second
+        assert first == first
+
+    def test_iteration_matches_indexing(self, view_and_list):
+        view, reference = view_and_list
+        assert [mask for mask in view] == reference

@@ -103,6 +103,84 @@ class TestDerivedRelations:
         assert people.value(0, "age") == 30
 
 
+class TestAppendRows:
+    def test_append_records_grows_in_place(self, people):
+        added = people.append_rows([
+            {"name": "eve", "age": 22, "score": 4.5},
+            {"name": "fox", "age": 63, "score": 0.5},
+        ])
+        assert added == 2
+        assert people.n_rows == 6
+        assert people.value(4, "name") == "eve"
+        assert people.value(5, "age") == 63
+        assert people.column_type("age") is ColumnType.INTEGER
+
+    def test_append_relation_checks_schema(self, people):
+        batch = Relation(
+            "batch", {"name": ["gil"], "age": [18], "score": [9.0]}
+        )
+        assert people.append_rows(batch) == 1
+        assert people.n_rows == 5
+        mismatched = Relation("bad", {"name": ["x"], "age": [1]})
+        with pytest.raises(ValueError):
+            people.append_rows(mismatched)
+
+    def test_append_missing_column_rejected(self, people):
+        with pytest.raises(ValueError):
+            people.append_rows([{"name": "no-age", "score": 1.0}])
+
+    def test_append_coerces_to_existing_types(self, people):
+        people.append_rows([{"name": "eve", "age": "33", "score": "4.25"}])
+        assert people.value(4, "age") == 33
+        assert people.value(4, "score") == 4.25
+
+    def test_empty_append_is_noop(self, people):
+        assert people.append_rows([]) == 0
+        assert people.n_rows == 4
+
+    def test_failed_append_leaves_the_relation_untouched(self, people):
+        with pytest.raises(ValueError):
+            people.append_rows([{"name": "bad", "age": "not-a-number", "score": 1.0}])
+        assert people.n_rows == 4
+        assert all(len(column) == 4 for column in people.columns)
+        assert people.value(3, "name") == "dan"
+
+    def test_string_codes_stay_stable_across_appends(self, people):
+        before = people.string_codes("name", "name")[0].copy()
+        people.append_rows([
+            {"name": "ann", "age": 1, "score": 1.0},   # existing value
+            {"name": "aaa", "age": 2, "score": 2.0},   # sorts before all
+        ])
+        after = people.string_codes("name", "name")[0]
+        assert (after[:4] == before).all()
+        assert after[4] == before[0]       # "ann" reuses ann's code
+        assert after[5] == before.max() + 1  # new value extends the code range
+
+    def test_pair_codes_stay_comparable_after_append(self):
+        relation = Relation(
+            "r", {"a": ["x", "y", "z"], "b": ["y", "q", "x"]}
+        )
+        relation.string_codes("a", "b")
+        relation.append_rows([{"a": "q", "b": "z"}])
+        left, right = relation.string_codes("a", "b")
+        a_values = [str(v) for v in relation.column("a").values.tolist()]
+        b_values = [str(v) for v in relation.column("b").values.tolist()]
+        for i in range(len(a_values)):
+            for j in range(len(b_values)):
+                assert (left[i] == right[j]) == (a_values[i] == b_values[j])
+
+    def test_copies_are_isolated_from_appends(self, people):
+        people.string_codes("name", "name")
+        duplicate = people.copy()
+        people.append_rows([{"name": "eve", "age": 1, "score": 1.0}])
+        assert duplicate.n_rows == 4
+        assert len(duplicate.string_codes("name", "name")[0]) == 4
+        duplicate.append_rows([{"name": "gil", "age": 2, "score": 2.0}])
+        assert people.n_rows == 5
+        assert people.value(4, "name") == "eve"
+        assert duplicate.value(4, "name") == "gil"
+
+
 class TestIO:
     def test_csv_round_trip(self, tmp_path, people):
         path = tmp_path / "people.csv"

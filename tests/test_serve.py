@@ -1,0 +1,188 @@
+"""Tests of the violation-serving layer against the semantic DC oracles.
+
+Every query of :class:`~repro.incremental.serve.ViolationService` has a
+slow, trivially-correct counterpart on :class:`DenialConstraint` (per-pair
+re-evaluation): violation counts, violating pairs, per-tuple scores, and
+the per-row admission rates of ``check_batch`` are all cross-checked
+against it on the running example and random relations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from tests.conftest import make_random_relation
+from repro.core.dc import DenialConstraint
+from repro.core.predicate_space import build_predicate_space
+from repro.core.repair import build_conflict_graph, vertex_cover_greedy
+from repro.incremental import EvidenceStore, ViolationService
+
+
+@pytest.fixture(scope="module")
+def served():
+    """Store + service over the running example with its mined ADCs."""
+    from repro.data.relation import running_example
+
+    relation = running_example()
+    store = EvidenceStore(relation)
+    adcs = store.remine(0.05)
+    service = ViolationService(store, adcs[:6], epsilon=0.05)
+    return relation, store, adcs[:6], service
+
+
+class TestViolationCounts:
+    def test_counts_match_the_pairwise_oracle(self, served):
+        relation, _, adcs, service = served
+        for index, adc in enumerate(adcs):
+            report = service.violations(index)
+            assert report.count == adc.constraint.violation_count(relation)
+            assert report.total_pairs == relation.n_rows * (relation.n_rows - 1)
+
+    def test_rate_is_count_over_total(self, served):
+        _, _, _, service = served
+        report = service.violations(0)
+        assert report.rate == report.count / report.total_pairs
+        assert report.exceeds(report.rate - 1e-12) or report.count == 0
+        assert not report.exceeds(1.0)
+
+    def test_resolution_by_constraint_object(self, served):
+        relation, _, adcs, service = served
+        by_index = service.violations(0)
+        by_adc = service.violations(adcs[0])
+        by_dc = service.violations(adcs[0].constraint)
+        assert by_index.count == by_adc.count == by_dc.count
+
+    def test_unknown_constraint_raises(self, served):
+        _, _, _, service = served
+        with pytest.raises(KeyError):
+            service.violations(DenialConstraint([]))
+        with pytest.raises(IndexError):
+            service.violations(99)
+
+    def test_report_and_exceeded(self, served):
+        _, _, adcs, service = served
+        report = service.report()
+        assert len(report) == len(adcs)
+        # ADCs were mined at epsilon=0.05, so none of them exceeds it.
+        assert service.exceeded() == []
+
+
+class TestPairReplay:
+    def test_replayed_pairs_match_the_oracle(self, served):
+        relation, _, adcs, service = served
+        for index, adc in enumerate(adcs):
+            replayed = sorted(service.violating_pairs(index))
+            assert replayed == sorted(adc.constraint.violating_pairs(relation))
+
+    def test_replay_count_consistent_with_violations(self, served):
+        _, _, adcs, service = served
+        for index in range(len(adcs)):
+            pairs = list(service.violating_pairs(index))
+            assert len(pairs) == service.violations(index).count
+
+    def test_conflict_graph_matches_built_graph(self, served):
+        relation, _, adcs, service = served
+        graph = service.conflict_graph(0)
+        oracle = build_conflict_graph(relation, adcs[0].constraint)
+        assert graph.n_tuples == oracle.n_tuples
+        assert graph.edges == oracle.edges
+        # The replayed graph plugs into the existing repair machinery.
+        assert vertex_cover_greedy(graph) == vertex_cover_greedy(oracle)
+
+    def test_replay_tracks_appends(self, served):
+        """Queries run against the store's current state, not a snapshot."""
+        relation, _, adcs, _ = served
+        initial = relation.take(range(12))
+        store = EvidenceStore(initial, space=build_predicate_space(relation))
+        service = ViolationService(store, adcs)
+        before = service.violations(0).count
+        assert before == adcs[0].constraint.violation_count(initial)
+        store.append(relation.take(range(12, 15)))
+        assert service.violations(0).count == adcs[0].constraint.violation_count(relation)
+
+
+class TestTupleScores:
+    def test_scores_match_per_tuple_pair_counts(self, served):
+        relation, _, adcs, service = served
+        for index, adc in enumerate(adcs):
+            scores = service.tuple_scores(index)
+            expected = np.zeros(relation.n_rows, dtype=np.int64)
+            for left, right in adc.constraint.violating_pairs(relation):
+                expected[left] += 1
+                expected[right] += 1
+            assert np.array_equal(scores, expected)
+
+    def test_repair_ranking_is_sorted_by_score(self, served):
+        _, _, adcs, service = served
+        for index in range(len(adcs)):
+            scores = service.tuple_scores(index)
+            ranking = service.repair_ranking(index)
+            assert set(ranking) == set(np.flatnonzero(scores > 0).tolist())
+            ranked_scores = [int(scores[t]) for t in ranking]
+            assert ranked_scores == sorted(ranked_scores, reverse=True)
+
+
+class TestBatchAdmission:
+    def _oracle_rate(self, relation, constraint, row):
+        """Violation rate after hypothetically appending exactly ``row``."""
+        probe = relation.copy()
+        probe.append_rows([row])
+        count = constraint.violation_count(probe)
+        total = probe.n_rows * (probe.n_rows - 1)
+        return count / total
+
+    def test_rates_match_the_single_row_oracle(self, served):
+        relation, _, adcs, service = served
+        batch = [relation.row(0), relation.row(7), relation.row(14)]
+        admissions = service.check_batch(batch)
+        assert [entry.row_index for entry in admissions] == [0, 1, 2]
+        for entry, row in zip(admissions, batch):
+            for dc_index, adc in enumerate(adcs):
+                expected = self._oracle_rate(relation, adc.constraint, row)
+                assert entry.rates[dc_index] == pytest.approx(expected)
+
+    def test_admissible_iff_every_rate_within_epsilon(self, served):
+        relation, _, _, service = served
+        admissions = service.check_batch([relation.row(i) for i in range(4)])
+        for entry in admissions:
+            assert entry.admissible == all(
+                rate <= service.epsilon for rate in entry.rates
+            )
+            assert entry.worst_rate == max(entry.rates)
+
+    def test_batch_verdicts_are_order_independent(self, served):
+        relation, _, _, service = served
+        batch = [relation.row(3), relation.row(9)]
+        forward = service.check_batch(batch)
+        backward = service.check_batch(list(reversed(batch)))
+        assert forward[0].rates == backward[1].rates
+        assert forward[1].rates == backward[0].rates
+
+    def test_empty_batch(self, served):
+        _, _, _, service = served
+        assert service.check_batch([]) == []
+
+    def test_check_batch_leaves_the_store_untouched(self, served):
+        relation, store, _, service = served
+        rows_before = store.n_rows
+        generation = store.generation
+        service.check_batch([relation.row(0)])
+        assert store.n_rows == rows_before
+        assert store.generation == generation
+
+
+class TestRandomRelations:
+    @pytest.mark.parametrize("seed", [0, 3, 11])
+    def test_service_against_oracles_on_random_data(self, seed):
+        relation = make_random_relation(n_rows=9, seed=seed)
+        store = EvidenceStore(relation)
+        adcs = store.remine(0.1)[:4]
+        if not adcs:
+            pytest.skip("no ADCs mined at this epsilon")
+        service = ViolationService(store, adcs, epsilon=0.1)
+        for index, adc in enumerate(adcs):
+            assert service.violations(index).count == adc.constraint.violation_count(relation)
+            assert sorted(service.violating_pairs(index)) == sorted(
+                adc.constraint.violating_pairs(relation)
+            )
