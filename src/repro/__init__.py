@@ -52,6 +52,12 @@ from repro.incremental import (
     EvidenceStore,
     ViolationService,
 )
+from repro.cluster import (
+    ClusterCoordinator,
+    LocalCluster,
+    build_evidence_set_cluster,
+    parallel_enumerate,
+)
 
 __version__ = "1.0.0"
 
@@ -87,4 +93,8 @@ __all__ = [
     "DeltaEvidenceBuilder",
     "EvidenceStore",
     "ViolationService",
+    "ClusterCoordinator",
+    "LocalCluster",
+    "build_evidence_set_cluster",
+    "parallel_enumerate",
 ]

@@ -1,0 +1,455 @@
+"""The cluster coordinator: worker registry, scheduling, failure recovery.
+
+:class:`ClusterCoordinator` owns one transport per registered worker and
+drives them through :meth:`submit`: the work context is broadcast once,
+tasks are handed out largest-weight-first (for evidence shards the weight
+is the shard's ordered-pair count, so the assignment is pair-count
+balanced), and results are collected in completion order.  The machinery is
+transport-agnostic — an in-process :class:`~repro.cluster.transport.LocalTransport`
+pair and a TCP worker on another machine are driven identically.
+
+Failure handling, the part that distinguishes this from a thread pool:
+
+* **Worker death.**  Each worker has a daemon reader thread pumping frames
+  into the coordinator inbox; a closed transport (SIGKILL'd process, died
+  machine) surfaces as a ``dead`` event, the worker leaves the registry and
+  its in-flight task is requeued for the survivors.
+* **Stragglers.**  A task outstanding longer than ``task_timeout`` is
+  *re-issued* to an idle worker while the original keeps running; the first
+  result wins and late duplicates are discarded (shared-memory duplicates
+  are still attached and unlinked, so nothing leaks).
+* **Heartbeats.**  Idle workers are pinged every ``heartbeat_interval``
+  seconds; one that stays silent past ``heartbeat_timeout`` is declared
+  dead.  Busy workers are exempt — a kernel crunching a big shard cannot
+  answer — and are covered by EOF detection and the straggler timeout.
+
+Correctness does not depend on any of this being lucky with timing: tasks
+are idempotent pure functions of the context, so re-issues and duplicates
+only ever produce byte-identical results, and the caller's merge is
+order-insensitive (:func:`repro.cluster.build.merge_partials_tree`).
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import socket
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.cluster.shm import resolve_result
+from repro.cluster.transport import (
+    SocketTransport,
+    Transport,
+    TransportError,
+    listen_socket,
+)
+
+
+class ClusterError(RuntimeError):
+    """Raised when the cluster cannot complete a submission."""
+
+
+@dataclass
+class _Worker:
+    """Registry entry for one connected worker."""
+
+    worker_id: int
+    transport: Transport
+    alive: bool = True
+    ready: bool = False           # has acked the current submission's context
+    task: object | None = None    # (submission, index) currently assigned
+    failure_counted: bool = False
+    last_seen: float = field(default_factory=time.monotonic)
+    last_ping: float = 0.0
+
+
+class ClusterCoordinator:
+    """Schedule work units over registered workers; recover from failures.
+
+    Parameters
+    ----------
+    task_timeout:
+        Seconds before an outstanding task is re-issued to an idle worker
+        (``None`` disables straggler re-issue; worker *death* always
+        requeues).
+    heartbeat_interval:
+        Seconds between pings to idle workers during a submission.
+    heartbeat_timeout:
+        Silence threshold after which a pinged idle worker is declared dead.
+    """
+
+    def __init__(
+        self,
+        task_timeout: float | None = None,
+        heartbeat_interval: float = 1.0,
+        heartbeat_timeout: float = 10.0,
+    ) -> None:
+        if task_timeout is not None and task_timeout <= 0:
+            raise ValueError("task_timeout must be positive (or None)")
+        self.task_timeout = task_timeout
+        self.heartbeat_interval = float(heartbeat_interval)
+        self.heartbeat_timeout = float(heartbeat_timeout)
+        self.reissued_tasks = 0
+        self.failed_workers = 0
+        self._workers: dict[int, _Worker] = {}
+        self._inbox: "queue.Queue[tuple[int, object]]" = queue.Queue()
+        self._next_worker_id = itertools.count()
+        self._submission_counter = itertools.count()
+        self._listener: socket.socket | None = None
+        self._threads: list[threading.Thread] = []
+
+    # ------------------------------------------------------------------
+    # Registry
+    # ------------------------------------------------------------------
+    @property
+    def n_alive(self) -> int:
+        """Workers currently believed alive."""
+        return sum(1 for worker in self._workers.values() if worker.alive)
+
+    @property
+    def bytes_received(self) -> int:
+        """Payload bytes received from all workers (results, pongs, acks)."""
+        return sum(w.transport.bytes_received for w in self._workers.values())
+
+    @property
+    def bytes_sent(self) -> int:
+        """Payload bytes sent to all workers (contexts, tasks, pings)."""
+        return sum(w.transport.bytes_sent for w in self._workers.values())
+
+    def add_worker(self, transport: Transport) -> int:
+        """Register a connected worker; returns its registry id."""
+        worker_id = next(self._next_worker_id)
+        worker = _Worker(worker_id, transport)
+        self._workers[worker_id] = worker
+        thread = threading.Thread(
+            target=self._reader, args=(worker,), daemon=True,
+            name=f"cluster-reader-{worker_id}",
+        )
+        self._threads.append(thread)
+        thread.start()
+        return worker_id
+
+    def listen(self, host: str = "127.0.0.1", port: int = 0) -> tuple[str, int]:
+        """Open the coordinator's accept socket; returns ``(host, port)``."""
+        if self._listener is not None:
+            raise ClusterError("coordinator is already listening")
+        self._listener = listen_socket(host, port)
+        bound_host, bound_port = self._listener.getsockname()[:2]
+        return bound_host, bound_port
+
+    def accept_workers(self, count: int, timeout: float = 30.0) -> list[int]:
+        """Accept ``count`` socket workers on the listening address."""
+        if self._listener is None:
+            raise ClusterError("call listen() before accept_workers()")
+        deadline = time.monotonic() + timeout
+        accepted: list[int] = []
+        for _ in range(count):
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise ClusterError(
+                    f"only {len(accepted)} of {count} workers connected "
+                    f"within {timeout} seconds"
+                )
+            self._listener.settimeout(remaining)
+            try:
+                sock, _ = self._listener.accept()
+            except socket.timeout:
+                raise ClusterError(
+                    f"only {len(accepted)} of {count} workers connected "
+                    f"within {timeout} seconds"
+                ) from None
+            accepted.append(self.add_worker(SocketTransport(sock)))
+        return accepted
+
+    @property
+    def worker_ids(self) -> list[int]:
+        """Registry ids of the workers currently alive."""
+        return [w.worker_id for w in self._workers.values() if w.alive]
+
+    def disconnect_worker(self, worker_id: int) -> None:
+        """Sever one worker's link (chaos/testing hook).
+
+        From the scheduler's point of view this is indistinguishable from
+        the worker machine dying: the reader thread observes EOF, the
+        worker is declared dead and its in-flight task is re-issued.
+        """
+        self._workers[worker_id].transport.close()
+
+    def _reader(self, worker: _Worker) -> None:
+        """Per-worker pump: frames (and the death notice) into the inbox.
+
+        The thread flips ``alive`` itself so the scheduler stops assigning
+        to a corpse immediately; the bookkeeping (failure count, requeue of
+        the in-flight task) happens when the ``dead`` event is consumed.
+        """
+        while True:
+            try:
+                message = worker.transport.recv()
+            except TransportError as error:
+                worker.alive = False
+                self._inbox.put((worker.worker_id, ("dead", str(error))))
+                return
+            self._inbox.put((worker.worker_id, message))
+
+    def _mark_dead(self, worker: _Worker) -> None:
+        worker.alive = False
+        if not worker.failure_counted:
+            worker.failure_counted = True
+            self.failed_workers += 1
+        try:
+            worker.transport.close()
+        except Exception:
+            pass
+
+    def _send(self, worker: _Worker, message: object) -> bool:
+        """Send, demoting the worker to dead on a broken link."""
+        try:
+            worker.transport.send(message)
+            return True
+        except TransportError as error:
+            if worker.alive:
+                worker.alive = False
+                self._inbox.put((worker.worker_id, ("dead", f"send failed: {error}")))
+            return False
+
+    def ping(self, timeout: float = 5.0) -> int:
+        """Round-trip a heartbeat to every idle worker; returns live count.
+
+        Workers that fail to answer within ``timeout`` are declared dead.
+        Busy workers (a task still in flight from an earlier submission's
+        re-issue) are skipped; stale results arriving meanwhile are
+        resolved so shared-memory segments never leak.
+        """
+        nonce = time.monotonic()
+        waiting: set[int] = set()
+        for worker in self._workers.values():
+            if worker.alive and worker.task is None:
+                if self._send(worker, ("ping", nonce)):
+                    waiting.add(worker.worker_id)
+        deadline = time.monotonic() + timeout
+        while waiting:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            try:
+                worker_id, message = self._inbox.get(timeout=remaining)
+            except queue.Empty:
+                break
+            worker = self._workers[worker_id]
+            worker.last_seen = time.monotonic()
+            if message[0] == "pong" and message[1] == nonce:
+                waiting.discard(worker_id)
+            elif message[0] == "dead":
+                self._mark_dead(worker)
+                waiting.discard(worker_id)
+            elif message[0] == "result":
+                resolve_result(message[2])
+                if worker.task == message[1]:
+                    worker.task = None
+        for worker_id in waiting:
+            self._mark_dead(self._workers[worker_id])
+        return self.n_alive
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        context: object,
+        tasks: list[object],
+        weights: list[int] | None = None,
+    ) -> list[object]:
+        """Run ``context.run(task)`` for every task; results in task order.
+
+        ``weights`` (e.g. shard pair counts) order the hand-out
+        largest-first, so the heaviest work units start earliest and the
+        tail of the schedule stays short.  Raises :class:`ClusterError`
+        when every worker dies before the work completes, or when a task
+        fails with a worker-side exception (an ``error`` frame — those are
+        not retried: the task would fail identically everywhere).
+        """
+        if not tasks:
+            return []
+        if weights is not None and len(weights) != len(tasks):
+            raise ValueError("weights must align with tasks")
+        if self.n_alive == 0:
+            raise ClusterError("no alive workers registered")
+        submission = next(self._submission_counter)
+
+        # Broadcast the context; workers ack with ("ready",).
+        for worker in self._workers.values():
+            if worker.alive:
+                worker.ready = False
+                self._send(worker, ("context", context))
+
+        order = sorted(
+            range(len(tasks)),
+            key=(lambda i: -weights[i]) if weights is not None else (lambda i: i),
+        )
+        pending: deque[int] = deque(order)
+        queued = set(order)          # indices currently waiting in `pending`
+        done: dict[int, object] = {}
+        deadlines: dict[int, float] = {}  # straggler deadline per live index
+
+        while len(done) < len(tasks):
+            self._assign(submission, tasks, pending, queued, done, deadlines)
+            try:
+                worker_id, message = self._inbox.get(timeout=0.05)
+            except queue.Empty:
+                # Only with the inbox drained can "no workers" mean failure:
+                # a worker that died right after sending the final result
+                # enqueues that result *before* its death notice.
+                if self.n_alive == 0:
+                    raise ClusterError(
+                        f"all workers died with {len(tasks) - len(done)} "
+                        "tasks unfinished"
+                    ) from None
+            else:
+                self._handle(
+                    submission, worker_id, message, pending, queued, done, deadlines
+                )
+                while True:  # drain the backlog without blocking
+                    try:
+                        worker_id, message = self._inbox.get_nowait()
+                    except queue.Empty:
+                        break
+                    self._handle(
+                        submission, worker_id, message, pending, queued, done, deadlines
+                    )
+            self._check_stragglers(pending, queued, done, deadlines)
+            self._heartbeat()
+
+        return [done[index] for index in range(len(tasks))]
+
+    def _assign(self, submission, tasks, pending, queued, done, deadlines) -> None:
+        for worker in self._workers.values():
+            while pending and worker.alive and worker.ready and worker.task is None:
+                index = pending.popleft()
+                queued.discard(index)
+                if index in done:
+                    continue  # a re-issued task whose original already landed
+                if self._send(worker, ("task", (submission, index), tasks[index])):
+                    worker.task = (submission, index)
+                    if self.task_timeout is not None:
+                        deadlines[index] = time.monotonic() + self.task_timeout
+            if not pending:
+                return
+
+    def _handle(
+        self, submission, worker_id, message, pending, queued, done, deadlines
+    ) -> None:
+        worker = self._workers[worker_id]
+        worker.last_seen = time.monotonic()
+        kind = message[0]
+        if kind == "ready":
+            worker.ready = True
+        elif kind == "pong":
+            pass
+        elif kind == "result":
+            _, task_key, payload = message
+            # Resolve (and for shm: attach + unlink) before any dedup — a
+            # discarded duplicate must still release its segment.
+            payload = resolve_result(payload)
+            if worker.task == task_key:
+                worker.task = None
+            their_submission, index = task_key
+            if their_submission == submission and index not in done:
+                done[index] = payload
+                deadlines.pop(index, None)
+        elif kind == "error":
+            _, task_key, text = message
+            if worker.task == task_key:
+                worker.task = None
+            their_submission, index = task_key
+            # Stale frames — a previous submission's abandoned straggler, or
+            # a current task whose re-issued twin already landed — must not
+            # abort healthy work; only a live failure of *this* submission
+            # is fatal (it would fail identically on every worker).
+            if their_submission == submission and index not in done:
+                raise ClusterError(f"task failed on worker {worker_id}:\n{text}")
+        elif kind == "dead":
+            in_flight = worker.task
+            worker.task = None
+            self._mark_dead(worker)
+            if in_flight is not None:
+                their_submission, index = in_flight
+                if their_submission == submission and index not in done and index not in queued:
+                    pending.appendleft(index)
+                    queued.add(index)
+
+    def _check_stragglers(self, pending, queued, done, deadlines) -> None:
+        """Requeue overdue in-flight tasks for a second, parallel issue."""
+        if self.task_timeout is None:
+            return
+        now = time.monotonic()
+        for worker in self._workers.values():
+            if not worker.alive or worker.task is None:
+                continue
+            _, index = worker.task
+            deadline = deadlines.get(index)
+            if (
+                deadline is not None
+                and now > deadline
+                and index not in done
+                and index not in queued
+            ):
+                pending.append(index)
+                queued.add(index)
+                self.reissued_tasks += 1
+                deadlines[index] = now + self.task_timeout
+
+    def _heartbeat(self) -> None:
+        now = time.monotonic()
+        for worker in self._workers.values():
+            if not worker.alive or worker.task is not None:
+                continue
+            if (
+                worker.last_ping > worker.last_seen
+                and now - worker.last_ping > self.heartbeat_timeout
+            ):
+                # We pinged after the last sign of life and heard nothing.
+                self._mark_dead(worker)
+            elif now - worker.last_ping > self.heartbeat_interval:
+                worker.last_ping = now
+                self._send(worker, ("ping", now))
+
+    # ------------------------------------------------------------------
+    # Shutdown
+    # ------------------------------------------------------------------
+    def shutdown(self) -> None:
+        """Ask every worker to exit and close all links."""
+        # Release any late straggler results parked in the inbox first —
+        # an unresolved shm handle would leak its segment past our exit.
+        while True:
+            try:
+                _, message = self._inbox.get_nowait()
+            except queue.Empty:
+                break
+            if message[0] == "result":
+                try:
+                    resolve_result(message[2])
+                except Exception:
+                    pass
+        for worker in self._workers.values():
+            if worker.alive:
+                self._send(worker, ("shutdown",))
+            try:
+                worker.transport.close()
+            except Exception:
+                pass
+            worker.alive = False
+        if self._listener is not None:
+            self._listener.close()
+            self._listener = None
+        for thread in self._threads:
+            thread.join(timeout=2.0)
+        self._threads.clear()
+
+    def __enter__(self) -> "ClusterCoordinator":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()

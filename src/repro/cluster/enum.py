@@ -1,0 +1,144 @@
+"""Distributed ADC enumeration: root subtrees as cluster work units.
+
+A first cut of parallel search over the same shard machinery the evidence
+tiles use.  The root node of :class:`~repro.core.adc_enum.ADCEnum` branches
+into one *skip* subtree plus one *hit* subtree per candidate predicate of
+the chosen evidence; each subtree is self-contained — the criticality
+planes start empty at the root, and the only cross-subtree coupling
+(candidate re-additions of earlier hit siblings) is replayed exactly by the
+``root_branch`` restriction.  So every subtree ships to a worker as a task
+against one :class:`EnumContext` (the pickled evidence set plus the search
+knobs), and the merge is a pure replay of the serial bookkeeping:
+
+* concatenation in root order (skip first, then hit elements in visit
+  order) reproduces the serial emission order, because the serial search
+  exhausts each top-level subtree before entering the next;
+* first-occurrence deduplication by hitting-set mask reproduces the serial
+  ``seen_outputs`` suppression — a duplicate's constraint and score are
+  pure functions of the mask, so whichever copy survives is byte-identical.
+
+Hence :func:`parallel_enumerate` returns **exactly** the DC list of a
+serial run (asserted in ``tests/test_cluster_enum.py``).  The ``"random"``
+selection strategy is the one exception — it keys off the global node
+counter, which subtree-local searches cannot see — and falls back to a
+serial run, as do trivially small root plans.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.cluster.local import resolve_coordinator
+from repro.core.adc_enum import ADCEnum, EnumerationStatistics
+
+if TYPE_CHECKING:
+    from repro.core.adc_enum import DiscoveredADC, SelectionStrategy
+    from repro.core.approximation import ApproximationFunction
+    from repro.core.evidence import EvidenceSet
+
+#: Statistics counters summed across unit searches (the root node's work is
+#: repeated per unit, so sums slightly over-count a serial run's numbers).
+_SUMMED_COUNTERS = (
+    "recursive_calls",
+    "hit_branches",
+    "skip_branches",
+    "pruned_by_willcover",
+    "pruned_by_criticality",
+    "minimality_checks",
+)
+
+
+@dataclass
+class EnumContext:
+    """Shipped-once enumeration payload; tasks are root-branch specs."""
+
+    evidence: "EvidenceSet"
+    function: "ApproximationFunction"
+    epsilon: float
+    selection: "SelectionStrategy"
+    max_dc_size: int | None
+
+    def __post_init__(self) -> None:
+        self._enumerator: ADCEnum | None = None
+
+    def __getstate__(self) -> dict:
+        # The cached enumerator (with its prepared word planes) is
+        # worker-local state, never shipped over the wire.
+        state = dict(self.__dict__)
+        state["_enumerator"] = None
+        return state
+
+    def run(
+        self, branch: int | str
+    ) -> tuple[list["DiscoveredADC"], EnumerationStatistics]:
+        # One enumerator per worker: _prepare_planes (plane transpose,
+        # membership packing) runs once, then every root-branch task of
+        # this context reuses the planes — enumerate() resets all search
+        # state, so runs are independent.
+        enumerator = self._enumerator
+        if enumerator is None:
+            enumerator = self._enumerator = ADCEnum(
+                self.evidence,
+                self.function,
+                self.epsilon,
+                selection=self.selection,
+                max_dc_size=self.max_dc_size,
+            )
+        enumerator.root_branch = branch if branch == "skip" else int(branch)
+        return enumerator.enumerate(), enumerator.statistics
+
+
+def parallel_enumerate(
+    evidence: "EvidenceSet",
+    function: "ApproximationFunction | None",
+    epsilon: float,
+    cluster: object,
+    selection: "SelectionStrategy" = "max",
+    max_dc_size: int | None = None,
+) -> tuple[list["DiscoveredADC"], EnumerationStatistics]:
+    """Enumerate minimal ADCs with root subtrees farmed over a cluster.
+
+    Drop-in for :func:`repro.core.miner.run_enumeration`: same arguments
+    plus the cluster, same ``(adcs, statistics)`` return, and the exact
+    ADC list of a serial run.  Falls back to searching serially when the
+    root does not branch (then there is nothing to distribute) or under
+    the ``"random"`` selection strategy (see the module docstring).
+    """
+    started = time.perf_counter()
+    probe = ADCEnum(
+        evidence, function, epsilon, selection=selection, max_dc_size=max_dc_size
+    )
+    kind, elements = probe.root_plan()
+    if selection == "random" or kind == "leaf" or not elements:
+        return probe.enumerate(), probe.statistics
+
+    units: list[int | str] = ["skip", *elements]
+    context = EnumContext(
+        evidence=evidence,
+        function=probe.function,
+        epsilon=float(epsilon),
+        selection=selection,
+        max_dc_size=max_dc_size,
+    )
+    outcomes = resolve_coordinator(cluster).submit(context, list(units))
+
+    statistics = EnumerationStatistics()
+    seen: set[int] = set()
+    merged: list["DiscoveredADC"] = []
+    for unit_adcs, unit_statistics in outcomes:
+        for counter in _SUMMED_COUNTERS:
+            setattr(
+                statistics,
+                counter,
+                getattr(statistics, counter) + getattr(unit_statistics, counter),
+            )
+        for adc in unit_adcs:
+            if adc.hitting_set_mask not in seen:
+                seen.add(adc.hitting_set_mask)
+                merged.append(adc)
+    statistics.outputs = len(merged)
+    statistics.extra["enum_units"] = float(len(units))
+    statistics.elapsed_seconds = time.perf_counter() - started
+    return merged, statistics

@@ -1,0 +1,183 @@
+"""Shared-memory word planes for same-machine workers.
+
+A local worker that computed a :class:`~repro.engine.partial.PartialEvidenceSet`
+normally pickles the whole thing — word rows, multiplicity chunks,
+participation histograms — back through its pipe or socket.  On wide
+predicate spaces those arrays dominate the result frame.  This module packs
+them into one :class:`multiprocessing.shared_memory.SharedMemory` block
+instead, so the frame carries only a tiny :class:`ShmPartial` handle (the
+segment name plus the array layout) and the coordinator reattaches the
+planes directly — the ROADMAP's shared-memory follow-up.
+
+Ownership is transferred with the handle: the worker unregisters the
+segment from its own process's resource tracker right after creating it
+(otherwise the tracker would tear the segment down — or warn about a leak —
+when the worker exits before the coordinator has read it), and
+:func:`partial_from_shm` unlinks after copying out.  The coordinator calls
+:func:`resolve_result` on *every* incoming result, including late
+duplicates of re-issued tasks, so no segment outlives its one read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.engine.partial import PartialEvidenceSet
+
+#: ``(field, shape, offset)`` triples describing one packed segment; every
+#: array is int64/uint64 so the dtype is implied by the field name.
+Layout = tuple[tuple[str, tuple[int, ...], int], ...]
+
+
+@dataclass(frozen=True)
+class ShmPartial:
+    """Picklable handle to a partial evidence set parked in shared memory."""
+
+    shm_name: str
+    n_rows: int
+    n_words: int
+    include_participation: bool
+    chunk_lengths: tuple[int, ...]
+    part_chunk_lengths: tuple[int, ...]
+    layout: Layout
+
+
+def _flatten(partial: PartialEvidenceSet) -> dict[str, np.ndarray]:
+    """The partial's state as flat arrays (chunk boundaries kept aside)."""
+    words = (
+        np.vstack(partial._rows)
+        if partial._rows
+        else np.zeros((0, partial.n_words), dtype=np.uint64)
+    )
+    empty = np.zeros(0, dtype=np.int64)
+    return {
+        "words": words,
+        "ids": np.concatenate(partial._id_chunks) if partial._id_chunks else empty,
+        "counts": np.concatenate(partial._count_chunks) if partial._count_chunks else empty,
+        "part_keys": (
+            np.concatenate(partial._part_key_chunks) if partial._part_key_chunks else empty
+        ),
+        "part_counts": (
+            np.concatenate(partial._part_count_chunks) if partial._part_count_chunks else empty
+        ),
+    }
+
+
+def _unregister_from_tracker(name: str) -> None:
+    """Detach a created segment from this process's resource tracker.
+
+    Ownership moves to the coordinator with the handle; without this, the
+    creating process's tracker unlinks the segment (or warns) at exit.
+    """
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(f"/{name}", "shared_memory")
+    except Exception:
+        pass
+
+
+def partial_to_shm(partial: PartialEvidenceSet) -> ShmPartial:
+    """Pack a partial's arrays into one shared-memory segment."""
+    arrays = _flatten(partial)
+    layout: list[tuple[str, tuple[int, ...], int]] = []
+    offset = 0
+    for field, array in arrays.items():
+        layout.append((field, array.shape, offset))
+        offset += array.nbytes
+    segment = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+    try:
+        for (field, _, start), array in zip(layout, arrays.values()):
+            if array.nbytes:
+                segment.buf[start : start + array.nbytes] = array.tobytes()
+        handle = ShmPartial(
+            shm_name=segment.name,
+            n_rows=partial.n_rows,
+            n_words=partial.n_words,
+            include_participation=partial.include_participation,
+            chunk_lengths=tuple(len(chunk) for chunk in partial._id_chunks),
+            part_chunk_lengths=tuple(len(chunk) for chunk in partial._part_key_chunks),
+            layout=tuple(layout),
+        )
+    finally:
+        segment.close()
+    _unregister_from_tracker(handle.shm_name)
+    return handle
+
+
+def _split(flat: np.ndarray, lengths: tuple[int, ...]) -> list[np.ndarray]:
+    chunks: list[np.ndarray] = []
+    start = 0
+    for length in lengths:
+        chunks.append(flat[start : start + length])
+        start += length
+    return chunks
+
+
+def partial_from_shm(handle: ShmPartial, unlink: bool = True) -> PartialEvidenceSet:
+    """Rebuild the partial from its segment (copied out; segment unlinked)."""
+    segment = shared_memory.SharedMemory(name=handle.shm_name)
+    try:
+        arrays: dict[str, np.ndarray] = {}
+        for field, shape, offset in handle.layout:
+            dtype = np.uint64 if field == "words" else np.int64
+            count = int(np.prod(shape, dtype=np.int64)) if shape else 0
+            arrays[field] = (
+                np.frombuffer(segment.buf, dtype=dtype, count=count, offset=offset)
+                .reshape(shape)
+                .copy()
+            )
+    finally:
+        segment.close()
+        if unlink:
+            try:
+                segment.unlink()
+            except FileNotFoundError:
+                pass
+
+    partial = PartialEvidenceSet(
+        handle.n_rows, handle.n_words, handle.include_participation
+    )
+    partial._rows = [row.copy() for row in arrays["words"]]
+    partial._ids = {row.tobytes(): index for index, row in enumerate(partial._rows)}
+    partial._id_chunks = _split(arrays["ids"], handle.chunk_lengths)
+    partial._count_chunks = _split(arrays["counts"], handle.chunk_lengths)
+    partial._part_key_chunks = _split(arrays["part_keys"], handle.part_chunk_lengths)
+    partial._part_count_chunks = _split(arrays["part_counts"], handle.part_chunk_lengths)
+    return partial
+
+
+def export_result(result: object, use_shm: bool) -> object:
+    """Worker-side hook: park partial results in shared memory when asked."""
+    if use_shm and isinstance(result, PartialEvidenceSet):
+        return partial_to_shm(result)
+    return result
+
+
+def resolve_result(result: object) -> object:
+    """Coordinator-side hook: reattach (and unlink) shared-memory results."""
+    if isinstance(result, ShmPartial):
+        return partial_from_shm(result)
+    return result
+
+
+def discard_result(result: object) -> None:
+    """Release a result that will never reach the coordinator.
+
+    A worker whose link died after exporting to shared memory owns a
+    segment nobody will ever attach to; unlinking it here is the only
+    thing standing between a coordinator crash and a leaked segment.
+    """
+    if isinstance(result, ShmPartial):
+        try:
+            segment = shared_memory.SharedMemory(name=result.shm_name)
+        except FileNotFoundError:
+            return
+        segment.close()
+        try:
+            segment.unlink()
+        except FileNotFoundError:
+            pass

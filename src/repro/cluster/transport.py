@@ -1,0 +1,196 @@
+"""Message transports: length-prefixed pickle frames.
+
+Every link between the coordinator and a worker speaks the same trivial
+wire protocol: a frame is an 8-byte big-endian payload length followed by a
+pickled Python object.  :class:`Transport` owns the pickle step and the
+per-connection byte/frame counters (what the cluster benchmark reads to
+compare pipe-returned partials against shared-memory handles); subclasses
+only move raw payload bytes.
+
+Two transports are provided:
+
+* :class:`LocalTransport` — an in-process queue pair.  It still pickles
+  every message, so it exercises exactly the serialization path of the
+  socket transport (anything unpicklable fails in tests, not on a remote
+  deployment) and counts the same bytes.
+* :class:`SocketTransport` — a connected TCP (or Unix) socket.  A peer
+  death surfaces as :class:`TransportClosed` on the next read or write,
+  which is what the coordinator's failure detection keys off.
+"""
+
+from __future__ import annotations
+
+import pickle
+import queue
+import socket
+import struct
+
+_HEADER = struct.Struct(">Q")
+
+#: Queue sentinel announcing the peer closed its end of a local link.
+_CLOSED = object()
+
+
+class TransportError(RuntimeError):
+    """Base class of transport failures."""
+
+
+class TransportClosed(TransportError):
+    """The peer closed the link (clean shutdown or process death)."""
+
+
+class TransportTimeout(TransportError):
+    """No complete frame arrived within the requested timeout."""
+
+
+class Transport:
+    """Framed-pickle message link; subclasses move raw payloads."""
+
+    def __init__(self) -> None:
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.frames_sent = 0
+        self.frames_received = 0
+
+    def send(self, message: object) -> None:
+        """Pickle ``message`` into one frame and ship it."""
+        payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+        self._send_payload(payload)
+        self.bytes_sent += len(payload)
+        self.frames_sent += 1
+
+    def recv(self, timeout: float | None = None) -> object:
+        """Receive one frame and unpickle it.
+
+        ``timeout=None`` blocks until a frame arrives or the link dies;
+        otherwise :class:`TransportTimeout` is raised after ``timeout``
+        seconds without a *complete* frame (partial frames stay buffered).
+        """
+        payload = self._recv_payload(timeout)
+        self.bytes_received += len(payload)
+        self.frames_received += 1
+        return pickle.loads(payload)
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+    def _send_payload(self, payload: bytes) -> None:
+        raise NotImplementedError
+
+    def _recv_payload(self, timeout: float | None) -> bytes:
+        raise NotImplementedError
+
+
+class LocalTransport(Transport):
+    """In-process endpoint of a queue pair (build with :meth:`pair`)."""
+
+    def __init__(self, outbox: "queue.Queue[object]", inbox: "queue.Queue[object]") -> None:
+        super().__init__()
+        self._outbox = outbox
+        self._inbox = inbox
+        self._closed = False
+
+    @classmethod
+    def pair(cls) -> tuple["LocalTransport", "LocalTransport"]:
+        """Two connected endpoints; what one sends the other receives."""
+        a_to_b: "queue.Queue[object]" = queue.Queue()
+        b_to_a: "queue.Queue[object]" = queue.Queue()
+        return cls(a_to_b, b_to_a), cls(b_to_a, a_to_b)
+
+    def _send_payload(self, payload: bytes) -> None:
+        if self._closed:
+            raise TransportClosed("transport is closed")
+        self._outbox.put(payload)
+
+    def _recv_payload(self, timeout: float | None) -> bytes:
+        if self._closed:
+            raise TransportClosed("transport is closed")
+        try:
+            item = self._inbox.get(timeout=timeout)
+        except queue.Empty:
+            raise TransportTimeout(f"no frame within {timeout} seconds") from None
+        if item is _CLOSED:
+            # Keep the sentinel so every subsequent recv also reports EOF.
+            self._inbox.put(_CLOSED)
+            raise TransportClosed("peer closed the transport")
+        return item  # type: ignore[return-value]
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._outbox.put(_CLOSED)
+
+
+class SocketTransport(Transport):
+    """Framed-pickle link over a connected stream socket."""
+
+    def __init__(self, sock: socket.socket) -> None:
+        super().__init__()
+        self._sock = sock
+        self._buffer = bytearray()
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:
+            pass  # Unix sockets / socketpairs have no Nagle to disable.
+
+    def _send_payload(self, payload: bytes) -> None:
+        try:
+            self._sock.sendall(_HEADER.pack(len(payload)) + payload)
+        except OSError as error:
+            raise TransportClosed(f"send failed: {error}") from error
+
+    def _fill(self, target: int, timeout: float | None) -> None:
+        """Grow the receive buffer to ``target`` bytes (partials persist)."""
+        try:
+            self._sock.settimeout(timeout)
+        except OSError as error:
+            raise TransportClosed(f"socket closed: {error}") from error
+        while len(self._buffer) < target:
+            try:
+                chunk = self._sock.recv(max(65536, target - len(self._buffer)))
+            except socket.timeout:
+                raise TransportTimeout(f"no frame within {timeout} seconds") from None
+            except OSError as error:
+                raise TransportClosed(f"recv failed: {error}") from error
+            if not chunk:
+                raise TransportClosed("peer closed the socket")
+            self._buffer.extend(chunk)
+
+    def _recv_payload(self, timeout: float | None) -> bytes:
+        self._fill(_HEADER.size, timeout)
+        (length,) = _HEADER.unpack(bytes(self._buffer[: _HEADER.size]))
+        self._fill(_HEADER.size + length, timeout)
+        payload = bytes(self._buffer[_HEADER.size : _HEADER.size + length])
+        del self._buffer[: _HEADER.size + length]
+        return payload
+
+    def close(self) -> None:
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self._sock.close()
+
+
+def parse_address(address: str) -> tuple[str, int]:
+    """Split a ``host:port`` string (the worker CLI's ``--connect`` form)."""
+    host, _, port_text = address.rpartition(":")
+    if not host or not port_text.isdigit():
+        raise ValueError(f"expected host:port, got {address!r}")
+    return host, int(port_text)
+
+
+def listen_socket(host: str = "127.0.0.1", port: int = 0) -> socket.socket:
+    """A listening TCP socket (``port=0`` lets the OS pick a free one)."""
+    sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    sock.bind((host, port))
+    sock.listen()
+    return sock
+
+
+def connect_socket(host: str, port: int, timeout: float | None = 30.0) -> SocketTransport:
+    """Connect to a listening coordinator and wrap the socket."""
+    sock = socket.create_connection((host, port), timeout=timeout)
+    sock.settimeout(None)
+    return SocketTransport(sock)

@@ -1,0 +1,112 @@
+"""The cluster worker: a receive-execute-reply loop over one transport.
+
+A worker is deliberately dumb and generic.  It receives a *context* object
+once (the expensive payload — a prepared tile kernel and its schedule, or a
+pickled evidence set for enumeration units), then answers ``task`` messages
+by calling ``context.run(payload)`` and streaming each result straight
+back.  Between tasks it answers heartbeat pings; a task failure is reported
+as an ``error`` frame rather than killing the loop, so one poisoned shard
+does not take the worker down with it.
+
+Remote deployment is one command per machine::
+
+    python -m repro.cluster.worker --connect host:port [--shm]
+
+``--shm`` parks :class:`~repro.engine.partial.PartialEvidenceSet` results
+in shared memory and returns only the handle (:mod:`repro.cluster.shm`) —
+valid when the worker shares a machine with its coordinator.
+
+Wire protocol (all frames are tuples, first element the kind):
+
+=================  =============================  ==========================
+coordinator sends  worker replies                 meaning
+=================  =============================  ==========================
+``("context", c)`` ``("ready",)``                 install work context ``c``
+``("task", i, p)`` ``("result", i, r)`` or        run ``c.run(p)``
+—                  ``("error", i, message)``
+``("ping", n)``    ``("pong", n)``                heartbeat
+``("shutdown",)``  —                              close and exit
+=================  =============================  ==========================
+"""
+
+from __future__ import annotations
+
+import argparse
+import traceback
+
+from repro.cluster.shm import discard_result, export_result
+from repro.cluster.transport import (
+    Transport,
+    TransportClosed,
+    connect_socket,
+    parse_address,
+)
+
+
+def serve(transport: Transport, use_shm: bool = False) -> int:
+    """Run the worker loop until shutdown or peer death; tasks completed."""
+    context: object | None = None
+    completed = 0
+    while True:
+        # A closed link — clean coordinator shutdown or its death — ends
+        # the loop quietly wherever it surfaces, recv and send alike.
+        try:
+            message = transport.recv()
+            kind = message[0]
+            if kind == "context":
+                context = message[1]
+                transport.send(("ready",))
+            elif kind == "task":
+                _, task_id, payload = message
+                try:
+                    if context is None:
+                        raise RuntimeError("no context installed before the first task")
+                    result = export_result(context.run(payload), use_shm)
+                except TransportClosed:
+                    raise
+                except Exception:
+                    transport.send(("error", task_id, traceback.format_exc(limit=5)))
+                    continue
+                try:
+                    transport.send(("result", task_id, result))
+                except TransportClosed:
+                    discard_result(result)  # nobody will ever attach it
+                    raise
+                completed += 1
+            elif kind == "ping":
+                transport.send(("pong", message[1]))
+            elif kind == "shutdown":
+                transport.close()
+                return completed
+            else:
+                transport.send(("error", None, f"unknown message kind {kind!r}"))
+        except TransportClosed:
+            try:
+                transport.close()  # announce EOF on our side too
+            except Exception:
+                pass
+            return completed
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.cluster.worker", description=__doc__
+    )
+    parser.add_argument(
+        "--connect", required=True, metavar="HOST:PORT",
+        help="coordinator address to connect to",
+    )
+    parser.add_argument(
+        "--shm", action="store_true",
+        help="return partial evidence sets as shared-memory handles "
+             "(coordinator must be on this machine)",
+    )
+    args = parser.parse_args(argv)
+    host, port = parse_address(args.connect)
+    transport = connect_socket(host, port)
+    serve(transport, use_shm=args.shm)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -119,6 +119,16 @@ class ADCEnum:
         Optional cap on the number of predicates per DC; ``None`` means
         unbounded.  The cap applies to the hitting branch only, so all
         minimal ADCs within the bound are still enumerated.
+    root_branch:
+        Restrict the search to ONE top-level subtree: ``"skip"`` explores
+        only the root's skip branch, an integer predicate index only that
+        element's hit branch.  Below the root the subtree is searched in
+        full, with the sibling bookkeeping (candidate re-additions,
+        criticality round-trips) replayed exactly, so the union of all
+        root branches — deduplicated in root order — reproduces the
+        unrestricted output bit for bit.  This is the hook
+        :func:`repro.cluster.enum.parallel_enumerate` farms out over
+        cluster workers; ``None`` (default) searches the whole tree.
     """
 
     def __init__(
@@ -128,11 +138,16 @@ class ADCEnum:
         epsilon: float = 0.01,
         selection: SelectionStrategy = "max",
         max_dc_size: int | None = None,
+        root_branch: int | str | None = None,
     ) -> None:
         if epsilon < 0:
             raise ValueError("epsilon must be non-negative")
         if selection not in ("max", "min", "random"):
             raise ValueError(f"unknown selection strategy {selection!r}")
+        if root_branch is not None and root_branch != "skip":
+            root_branch = int(root_branch)
+        self.root_branch = root_branch
+        self._pending_root_branch: int | str | None = None
         self.evidence = evidence
         self.function = function if function is not None else F1()
         self.epsilon = float(epsilon)
@@ -229,6 +244,7 @@ class ADCEnum:
             else np.arange(self._n_evidences, dtype=np.int64)
         )
 
+        self._pending_root_branch = self.root_branch
         self._search(
             s_elements=[],
             uncov=uncov,
@@ -242,6 +258,46 @@ class ADCEnum:
         )
         self.statistics.elapsed_seconds = time.perf_counter() - started
         yield from self._results
+
+    def root_plan(self) -> tuple[str, list[int]]:
+        """Shape of the root search node, for distributed enumeration.
+
+        Returns ``("leaf", [])`` when the root terminates without branching
+        (the empty set already passes the threshold, or no uncovered
+        evidence intersects the candidate plane), else
+        ``("branch", elements)`` where ``elements`` is the root hit loop's
+        predicate list in visit order.  Together with the ``"skip"`` branch
+        those elements partition the search tree into the self-contained
+        units :func:`repro.cluster.enum.parallel_enumerate` farms out via
+        the ``root_branch`` restriction.  Read-only: no search state is
+        touched.
+        """
+        if self._n_evidences == 0:
+            return ("leaf", [])
+        uncovered_pairs = int(self._counts.sum())
+        cand_words = self._full_cand_words
+        cand_counts = self._intersection_counts(self._ev_planes, cand_words)
+        total = self.evidence.total_pairs
+        if total == 0 or self.function.pair_determined:
+            passes = total == 0 or (
+                self.function.violation_score_from_pair_fraction(
+                    uncovered_pairs / total, total
+                )
+                <= self.epsilon
+            )
+        else:
+            passes = self._passes_lazy(
+                np.arange(self._n_evidences, dtype=np.int64), uncovered_pairs
+            )
+        if passes:
+            return ("leaf", [])
+        selectable = (cand_counts > 0).nonzero()[0]
+        if selectable.size == 0:
+            return ("leaf", [])
+        # call_index=1: recursive_calls is 1 when the real search's root runs.
+        chosen = self._choose_evidence(selectable, cand_counts, 1)
+        to_try = cand_words & self._ev_planes[:, chosen]
+        return ("branch", word_bits_list(to_try))
 
     # ------------------------------------------------------------------
     # Scoring helpers
@@ -340,6 +396,11 @@ class ADCEnum:
     ) -> None:
         statistics = self.statistics
         statistics.recursive_calls += 1
+        # Root-branch restriction (distributed enumeration): consumed by the
+        # first node only; every deeper node sees None and searches in full.
+        root_branch = self._pending_root_branch
+        if root_branch is not None:
+            self._pending_root_branch = None
         total = self._total_pairs
         pair_determined = self._pair_determined
         function = self.function
@@ -374,16 +435,9 @@ class ADCEnum:
         selectable_positions = (cand_counts > 0).nonzero()[0]
         if selectable_positions.size == 0:
             return
-        if self.selection == "random":
-            chosen_position = int(
-                selectable_positions[statistics.recursive_calls % selectable_positions.size]
-            )
-        else:
-            intersections = cand_counts.take(selectable_positions)
-            if self.selection == "max":
-                chosen_position = int(selectable_positions[int(intersections.argmax())])
-            else:
-                chosen_position = int(selectable_positions[int(intersections.argmin())])
+        chosen_position = self._choose_evidence(
+            selectable_positions, cand_counts, statistics.recursive_calls
+        )
         chosen_words = ev_uncov[:, chosen_position]
 
         # ------------------------------------------------------------------
@@ -393,49 +447,52 @@ class ADCEnum:
         reduced_cand = cand_words & ~chosen_words
         delta = self._intersection_counts(ev_uncov, to_try)
         reduced_counts = cand_counts - delta
-        lost_positions = (reduced_counts <= 0).nonzero()[0]
-        will_cover_pairs = dead_pairs + int(
-            np.add.reduce(counts_uncov.take(lost_positions))
-        )
-        if pair_determined:
-            will_cover_passes = (
-                function.violation_score_from_pair_fraction(
-                    will_cover_pairs / total, total
-                )
-                <= epsilon
+        if root_branch is None or root_branch == "skip":
+            lost_positions = (reduced_counts <= 0).nonzero()[0]
+            will_cover_pairs = dead_pairs + int(
+                np.add.reduce(counts_uncov.take(lost_positions))
             )
-        else:
-            will_cover_passes = self._passes_lazy(
-                uncov.take(lost_positions), will_cover_pairs
-            )
-        if will_cover_passes:
-            statistics.skip_branches += 1
             if pair_determined:
-                # Dead-evidence compaction: an evidence with no candidate
-                # overlap can never be covered or selected anywhere in this
-                # subtree (every future element comes from the shrinking
-                # candidate set), so only its pair total still matters.
-                # Dropping it shrinks every descendant's vectors; its pairs
-                # move into the dead_pairs scalar.
-                alive_positions = (reduced_counts > 0).nonzero()[0]
-                self._search(
-                    s_elements,
-                    None,
-                    ev_uncov.take(alive_positions, axis=1),
-                    uncov_bits,
-                    uncovered_pairs,
-                    will_cover_pairs,
-                    reduced_cand,
-                    reduced_counts.take(alive_positions),
-                    counts_uncov.take(alive_positions),
+                will_cover_passes = (
+                    function.violation_score_from_pair_fraction(
+                        will_cover_pairs / total, total
+                    )
+                    <= epsilon
                 )
             else:
-                self._search(
-                    s_elements, uncov, ev_uncov, uncov_bits, uncovered_pairs,
-                    dead_pairs, reduced_cand, reduced_counts, counts_uncov,
+                will_cover_passes = self._passes_lazy(
+                    uncov.take(lost_positions), will_cover_pairs
                 )
-        else:
-            statistics.pruned_by_willcover += 1
+            if will_cover_passes:
+                statistics.skip_branches += 1
+                if pair_determined:
+                    # Dead-evidence compaction: an evidence with no candidate
+                    # overlap can never be covered or selected anywhere in this
+                    # subtree (every future element comes from the shrinking
+                    # candidate set), so only its pair total still matters.
+                    # Dropping it shrinks every descendant's vectors; its pairs
+                    # move into the dead_pairs scalar.
+                    alive_positions = (reduced_counts > 0).nonzero()[0]
+                    self._search(
+                        s_elements,
+                        None,
+                        ev_uncov.take(alive_positions, axis=1),
+                        uncov_bits,
+                        uncovered_pairs,
+                        will_cover_pairs,
+                        reduced_cand,
+                        reduced_counts.take(alive_positions),
+                        counts_uncov.take(alive_positions),
+                    )
+                else:
+                    self._search(
+                        s_elements, uncov, ev_uncov, uncov_bits, uncovered_pairs,
+                        dead_pairs, reduced_cand, reduced_counts, counts_uncov,
+                    )
+            else:
+                statistics.pruned_by_willcover += 1
+        if root_branch == "skip":
+            return
 
         # ------------------------------------------------------------------
         # Second recursive call (lines 13-22): hit the chosen evidence with
@@ -462,39 +519,66 @@ class ADCEnum:
                 crit_block[position], covers_block[position]
             )
             if viable:
-                statistics.hit_branches += 1
-                keep_positions = (
-                    (ev_uncov[element >> 6] & bit_table[element & 63]) == 0
-                ).nonzero()[0]
-                counts_remaining = counts_uncov.take(keep_positions)
-                # Pairs still uncovered in the child = pairs of the kept
-                # evidences plus the compacted dead ones; the covered-pair
-                # delta needs no extra pass.
-                remaining_pairs = dead_pairs + int(np.add.reduce(counts_remaining))
-                ev_remaining = ev_uncov.take(keep_positions, axis=1)
-                child_cand = cand_loop & group_words_inv[element]
-                child_counts = self._intersection_counts(ev_remaining, child_cand)
-                s_elements.append(element)
-                self._search(
-                    s_elements,
-                    None if uncov is None else uncov.take(keep_positions),
-                    ev_remaining,
-                    child_bits_block[position],
-                    remaining_pairs,
-                    dead_pairs,
-                    child_cand,
-                    child_counts,
-                    counts_remaining,
-                )
-                s_elements.pop()
+                # Under a root-branch restriction, siblings before the
+                # target element are *replayed* (criticality round-trip and
+                # candidate re-addition, which shape the target's subtree)
+                # but their own subtrees are not descended into.
+                if root_branch is None or element == root_branch:
+                    statistics.hit_branches += 1
+                    keep_positions = (
+                        (ev_uncov[element >> 6] & bit_table[element & 63]) == 0
+                    ).nonzero()[0]
+                    counts_remaining = counts_uncov.take(keep_positions)
+                    # Pairs still uncovered in the child = pairs of the kept
+                    # evidences plus the compacted dead ones; the covered-pair
+                    # delta needs no extra pass.
+                    remaining_pairs = dead_pairs + int(np.add.reduce(counts_remaining))
+                    ev_remaining = ev_uncov.take(keep_positions, axis=1)
+                    child_cand = cand_loop & group_words_inv[element]
+                    child_counts = self._intersection_counts(ev_remaining, child_cand)
+                    s_elements.append(element)
+                    self._search(
+                        s_elements,
+                        None if uncov is None else uncov.take(keep_positions),
+                        ev_remaining,
+                        child_bits_block[position],
+                        remaining_pairs,
+                        dead_pairs,
+                        child_cand,
+                        child_counts,
+                        counts_remaining,
+                    )
+                    s_elements.pop()
                 set_bit(cand_loop, element)
             else:
                 statistics.pruned_by_criticality += 1
             crit.undo(removed_crit)
+            if element == root_branch:
+                return
 
     # ------------------------------------------------------------------
     # Bookkeeping helpers
     # ------------------------------------------------------------------
+    def _choose_evidence(
+        self,
+        selectable_positions: np.ndarray,
+        cand_counts: np.ndarray,
+        call_index: int,
+    ) -> int:
+        """The evidence-selection rule (Figure 4 line 4 / Figure 10).
+
+        Single source of truth for the choice *and its tie-breaks*, shared
+        by the :meth:`_search` hot loop and :meth:`root_plan` — if the two
+        ever diverged, the distributed units would silently partition the
+        tree on the wrong chosen evidence.
+        """
+        if self.selection == "random":
+            return int(selectable_positions[call_index % selectable_positions.size])
+        intersections = cand_counts.take(selectable_positions)
+        if self.selection == "max":
+            return int(selectable_positions[int(intersections.argmax())])
+        return int(selectable_positions[int(intersections.argmin())])
+
     @staticmethod
     def _intersection_counts(ev_planes: np.ndarray, mask_words: np.ndarray) -> np.ndarray:
         """Per-evidence ``|evidence ∩ mask|`` over transposed word planes.

@@ -48,7 +48,7 @@ from repro.engine.scheduler import DEFAULT_MEMORY_BUDGET_BYTES
 
 #: All evidence construction methods accepted by :func:`build_evidence_set`
 #: (``"vectorized"`` is a legacy alias of ``"tiled"``).
-EVIDENCE_METHODS = ("tiled", "vectorized", "parallel", "dense", "pairwise")
+EVIDENCE_METHODS = ("tiled", "vectorized", "parallel", "cluster", "dense", "pairwise")
 
 
 def build_evidence_set(
@@ -59,6 +59,7 @@ def build_evidence_set(
     tile_rows: int | None = None,
     n_workers: int | None = None,
     memory_budget_bytes: int = DEFAULT_MEMORY_BUDGET_BYTES,
+    cluster: object | None = None,
 ) -> EvidenceSet:
     """Build ``Evi(D)``, dispatching to the requested builder.
 
@@ -74,17 +75,22 @@ def build_evidence_set(
         (needed by the f2/f3 approximation functions; costs one extra pass).
     method:
         ``"tiled"`` (default), ``"parallel"`` (process-pool tile engine),
-        ``"dense"`` (the full-plane oracle) or ``"pairwise"`` (the naive
-        AFASTDC-style oracle).  ``"vectorized"`` is accepted as a legacy
-        alias of ``"tiled"``.
+        ``"cluster"`` (the distributed fabric of :mod:`repro.cluster`;
+        requires ``cluster=``), ``"dense"`` (the full-plane oracle) or
+        ``"pairwise"`` (the naive AFASTDC-style oracle).  ``"vectorized"``
+        is accepted as a legacy alias of ``"tiled"``.
     tile_rows:
-        Tile edge length of the tiled/parallel builders; ``None`` (default)
-        selects it adaptively from the memory budget.
+        Tile edge length of the tiled/parallel/cluster builders; ``None``
+        (default) selects it adaptively from the memory budget.
     n_workers:
         Worker processes of the parallel builder (``None`` uses all CPUs);
         ignored by the other methods.
     memory_budget_bytes:
         Transient-memory budget driving the adaptive tile size.
+    cluster:
+        A :class:`~repro.cluster.coordinator.ClusterCoordinator` or
+        :class:`~repro.cluster.local.LocalCluster` carrying the workers of
+        the ``"cluster"`` method; ignored by the other methods.
     """
     if method in ("tiled", "vectorized"):
         return build_evidence_set_tiled(
@@ -103,6 +109,25 @@ def build_evidence_set(
             n_workers=n_workers,
             memory_budget_bytes=memory_budget_bytes,
         )
+    if method == "cluster":
+        if cluster is None:
+            raise ValueError(
+                "method='cluster' needs a cluster= coordinator "
+                "(e.g. repro.cluster.LocalCluster)"
+            )
+        # Imported lazily: repro.cluster pulls in the whole fabric (and, via
+        # the enumeration context, this very module), which non-cluster
+        # builds should neither pay for nor cycle through.
+        from repro.cluster.build import build_evidence_set_cluster
+
+        return build_evidence_set_cluster(
+            relation,
+            space,
+            cluster,
+            include_participation=include_participation,
+            tile_rows=tile_rows,
+            memory_budget_bytes=memory_budget_bytes,
+        )
     if method == "dense":
         return build_evidence_set_dense(
             relation, space, include_participation=include_participation
@@ -111,7 +136,10 @@ def build_evidence_set(
         return build_evidence_set_pairwise(
             relation, space, include_participation=include_participation
         )
-    raise ValueError(f"unknown evidence construction method {method!r}")
+    raise ValueError(
+        f"unknown evidence construction method {method!r}; "
+        f"valid methods are {', '.join(EVIDENCE_METHODS)}"
+    )
 
 
 def build_evidence_set_tiled(

@@ -135,15 +135,27 @@ class ADCMiner:
     evidence_method:
         ``"tiled"`` (blocked word-plane builder, default), ``"parallel"``
         (the process-pool tile engine of :mod:`repro.engine`, bit-identical
-        to ``"tiled"``), ``"dense"`` (full-plane oracle), or ``"pairwise"``
-        (AFASTDC-style reference builder).  ``"vectorized"`` is a legacy
-        alias of ``"tiled"``.
+        to ``"tiled"``), ``"cluster"`` (the distributed fabric of
+        :mod:`repro.cluster`, also bit-identical; requires ``cluster=``),
+        ``"dense"`` (full-plane oracle), or ``"pairwise"`` (AFASTDC-style
+        reference builder).  ``"vectorized"`` is a legacy alias of
+        ``"tiled"``.
     tile_rows:
         Tile edge length of the tiled/parallel evidence builders; ``None``
         (default) picks it adaptively from a memory budget.
     n_workers:
         Worker processes of the ``"parallel"`` evidence builder (``None``
-        uses all CPUs); ignored by the other methods.
+        uses all CPUs); ignored by the other methods.  Validated eagerly:
+        a non-positive count raises here, not at mine time.
+    cluster:
+        A :class:`~repro.cluster.coordinator.ClusterCoordinator` or
+        :class:`~repro.cluster.local.LocalCluster`.  When given, evidence
+        tiles are built over the cluster (``evidence_method`` switches to
+        ``"cluster"`` unless explicitly set to an oracle method).
+    cluster_enumeration:
+        Also farm the enumeration's root subtrees over the cluster
+        (:func:`repro.cluster.enum.parallel_enumerate`; returns the exact
+        serial DC list).  Requires ``cluster``.
     max_dc_size:
         Optional cap on predicates per DC.
     seed:
@@ -162,13 +174,26 @@ class ADCMiner:
         evidence_method: str = "tiled",
         tile_rows: int | None = None,
         n_workers: int | None = None,
+        cluster: object | None = None,
+        cluster_enumeration: bool = False,
         max_dc_size: int | None = None,
         seed: int | None = None,
     ) -> None:
         if isinstance(function, str):
             function = get_approximation_function(function)
+        if cluster is not None and evidence_method in ("tiled", "vectorized"):
+            evidence_method = "cluster"
         if evidence_method not in EVIDENCE_METHODS:
-            raise ValueError(f"unknown evidence method {evidence_method!r}")
+            raise ValueError(
+                f"unknown evidence method {evidence_method!r}; "
+                f"valid methods are {', '.join(EVIDENCE_METHODS)}"
+            )
+        if evidence_method == "cluster" and cluster is None:
+            raise ValueError("evidence_method='cluster' needs a cluster= coordinator")
+        if cluster_enumeration and cluster is None:
+            raise ValueError("cluster_enumeration=True needs a cluster= coordinator")
+        if n_workers is not None and n_workers < 1:
+            raise ValueError("n_workers must be positive")
         self.function = function
         self.epsilon = float(epsilon)
         self.sample_fraction = float(sample_fraction)
@@ -179,6 +204,8 @@ class ADCMiner:
         self.evidence_method = evidence_method
         self.tile_rows = int(tile_rows) if tile_rows is not None else None
         self.n_workers = int(n_workers) if n_workers is not None else None
+        self.cluster = cluster
+        self.cluster_enumeration = bool(cluster_enumeration)
         self.max_dc_size = max_dc_size
         self.seed = seed
 
@@ -203,6 +230,7 @@ class ADCMiner:
             method=self.evidence_method,
             tile_rows=self.tile_rows,
             n_workers=self.n_workers,
+            cluster=self.cluster,
         )
         timings.evidence = time.perf_counter() - started
 
@@ -211,13 +239,25 @@ class ADCMiner:
             function = adjusted_function(plan.sample_pairs, self.alpha)
 
         started = time.perf_counter()
-        adcs, enum_statistics = run_enumeration(
-            evidence,
-            function,
-            self.epsilon,
-            selection=self.selection,
-            max_dc_size=self.max_dc_size,
-        )
+        if self.cluster_enumeration:
+            from repro.cluster.enum import parallel_enumerate
+
+            adcs, enum_statistics = parallel_enumerate(
+                evidence,
+                function,
+                self.epsilon,
+                self.cluster,
+                selection=self.selection,
+                max_dc_size=self.max_dc_size,
+            )
+        else:
+            adcs, enum_statistics = run_enumeration(
+                evidence,
+                function,
+                self.epsilon,
+                selection=self.selection,
+                max_dc_size=self.max_dc_size,
+            )
         timings.enumeration = time.perf_counter() - started
 
         return MiningResult(

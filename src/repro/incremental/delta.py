@@ -112,6 +112,11 @@ class DeltaEvidenceBuilder:
         Process-pool width for tile evaluation; ``1`` (default) folds
         serially in-process (see
         :func:`~repro.engine.parallel.fold_tiles_pooled`).
+    cluster:
+        Optional :class:`~repro.cluster.coordinator.ClusterCoordinator` or
+        :class:`~repro.cluster.local.LocalCluster`: the initial full build
+        *and every delta* fold their tiles over the cluster's workers
+        instead of a process pool (``n_workers`` is then ignored).
     memory_budget_bytes:
         Transient-memory budget driving the adaptive tile edge.
     """
@@ -122,6 +127,7 @@ class DeltaEvidenceBuilder:
         include_participation: bool = True,
         tile_rows: int | None = None,
         n_workers: int = 1,
+        cluster: object | None = None,
         memory_budget_bytes: int = DEFAULT_MEMORY_BUDGET_BYTES,
     ) -> None:
         if n_workers < 1:
@@ -131,6 +137,7 @@ class DeltaEvidenceBuilder:
         self.include_participation = bool(include_participation)
         self.tile_rows = int(tile_rows) if tile_rows is not None else None
         self.n_workers = int(n_workers)
+        self.cluster = cluster
         self.memory_budget_bytes = int(memory_budget_bytes)
 
     def tile_edge(self, n_rows: int) -> int:
@@ -143,11 +150,28 @@ class DeltaEvidenceBuilder:
         """
         if self.tile_rows is not None:
             return self.tile_rows
-        if self.n_workers > 1:
+        concurrency = self._concurrency()
+        if concurrency > 1:
             return parallel_tile_rows(
-                max(n_rows, 1), self.n_words, self.n_workers, self.memory_budget_bytes
+                max(n_rows, 1), self.n_words, concurrency, self.memory_budget_bytes
             )
         return choose_tile_rows(max(n_rows, 1), self.n_words, self.memory_budget_bytes)
+
+    def _concurrency(self) -> int:
+        """Concurrent kernels the fold will run (pool width or cluster size)."""
+        if self.cluster is not None:
+            from repro.cluster.local import resolve_coordinator
+
+            return max(resolve_coordinator(self.cluster).n_alive, 1)
+        return self.n_workers
+
+    def _fold(self, kernel: TileKernel, tiles: tuple["Tile", ...]) -> "PartialEvidenceSet":
+        """Fold tiles over the cluster when one is attached, else the pool."""
+        if self.cluster is not None:
+            from repro.cluster.build import fold_tiles_cluster
+
+            return fold_tiles_cluster(kernel, tiles, self.cluster)
+        return fold_tiles_pooled(kernel, tiles, self.n_workers)
 
     def kernel(self, relation: "Relation", include_participation: bool | None = None) -> TileKernel:
         """A tile kernel over the relation's *current* rows.
@@ -163,7 +187,7 @@ class DeltaEvidenceBuilder:
     def full_partial(self, relation: "Relation") -> "PartialEvidenceSet":
         """Evidence partial of the full pair matrix (the store's seed)."""
         scheduler = TileScheduler(relation.n_rows, tile_rows=self.tile_edge(relation.n_rows))
-        return fold_tiles_pooled(self.kernel(relation), scheduler.tiles(), self.n_workers)
+        return self._fold(self.kernel(relation), scheduler.tiles())
 
     def delta_partial(
         self, relation: "Relation", n_existing: int
@@ -178,4 +202,4 @@ class DeltaEvidenceBuilder:
         stored partial before merging.
         """
         tiles = delta_tiles(n_existing, relation.n_rows, self.tile_edge(relation.n_rows))
-        return fold_tiles_pooled(self.kernel(relation), tiles, self.n_workers)
+        return self._fold(self.kernel(relation), tiles)

@@ -61,6 +61,12 @@ class EvidenceStore:
     n_workers:
         Process-pool width for the initial build and every delta
         (``1`` = serial in-process fold, no executor overhead).
+    cluster:
+        Optional :class:`~repro.cluster.coordinator.ClusterCoordinator` or
+        :class:`~repro.cluster.local.LocalCluster`: the seed build and
+        every appended batch's delta tiles fold over the cluster's workers
+        (``n_workers`` is then ignored).  The bit-identity invariant is
+        unchanged — cluster folds merge the same tile partials.
     memory_budget_bytes:
         Transient-memory budget driving the adaptive tile edge.
     """
@@ -73,6 +79,7 @@ class EvidenceStore:
         include_participation: bool = True,
         tile_rows: int | None = None,
         n_workers: int = 1,
+        cluster: object | None = None,
         memory_budget_bytes: int = DEFAULT_MEMORY_BUDGET_BYTES,
     ) -> None:
         self._relation = relation.copy()
@@ -84,6 +91,7 @@ class EvidenceStore:
             include_participation=include_participation,
             tile_rows=tile_rows,
             n_workers=n_workers,
+            cluster=cluster,
             memory_budget_bytes=memory_budget_bytes,
         )
         self._partial = self._builder.full_partial(self._relation)

@@ -99,6 +99,56 @@ class TestMergeAlgebra:
         assert_evidence_identical(left, right)
         assert_evidence_identical(left, swapped)
 
+    @settings(max_examples=30, deadline=None)
+    @given(
+        relation=relation_strategy,
+        tile_rows=st.integers(min_value=1, max_value=6),
+        tree_seed=st.randoms(use_true_random=False),
+    )
+    def test_arbitrary_merge_trees_match_serial_fold(self, relation, tile_rows, tree_seed):
+        """Any merge *tree* — not just left folds — finalizes identically.
+
+        Random binary reduction trees are built by repeatedly merging two
+        random intermediate partials (with random receiver order, so inner
+        nodes combine results of very different sizes), which covers the
+        cluster coordinator's balanced reduction and every skewed shape a
+        failure-rescheduled run could produce.
+        """
+        space = build_predicate_space(relation)
+        kernel, tiles = _tile_partials(relation, space, tile_rows)
+        reference = _fold(kernel, tiles).finalize(space)
+
+        # Leaves: a random grouping of tiles into partials.
+        shuffled = list(tiles)
+        tree_seed.shuffle(shuffled)
+        n_leaves = tree_seed.randint(1, max(1, len(shuffled)))
+        forest = [
+            _fold(kernel, group)
+            for group in (shuffled[i::n_leaves] for i in range(n_leaves))
+            if group
+        ]
+        # Inner nodes: merge two random trees until one remains.
+        while len(forest) > 1:
+            left = forest.pop(tree_seed.randrange(len(forest)))
+            right = forest.pop(tree_seed.randrange(len(forest)))
+            if tree_seed.random() < 0.5:
+                left, right = right, left
+            forest.append(left.merge(right))
+        assert_evidence_identical(forest[0].finalize(space), reference)
+
+        # The cluster coordinator's balanced binary reduction is one such
+        # tree; check it against the same reference explicitly.
+        from repro.cluster.build import merge_partials_tree
+
+        balanced = [
+            _fold(kernel, group)
+            for group in (list(tiles)[i::3] for i in range(3))
+            if group
+        ]
+        assert_evidence_identical(
+            merge_partials_tree(balanced).finalize(space), reference
+        )
+
     @settings(max_examples=25, deadline=None)
     @given(relation=relation_strategy, tile_rows=st.integers(min_value=1, max_value=5))
     def test_merge_preserves_pair_mass(self, relation, tile_rows):
