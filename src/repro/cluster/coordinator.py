@@ -22,6 +22,8 @@ Failure handling, the part that distinguishes this from a thread pool:
   seconds; one that stays silent past ``heartbeat_timeout`` is declared
   dead.  Busy workers are exempt — a kernel crunching a big shard cannot
   answer — and are covered by EOF detection and the straggler timeout.
+  Workers still installing a broadcast context are equally deaf to pings,
+  so they get their own, much longer ``context_timeout`` instead.
 
 Correctness does not depend on any of this being lucky with timing: tasks
 are idempotent pure functions of the context, so re-issues and duplicates
@@ -61,6 +63,8 @@ class _Worker:
     alive: bool = True
     ready: bool = False           # has acked the current submission's context
     task: object | None = None    # (submission, index) currently assigned
+    context_pending: object | None = None  # context deferred while busy
+    context_deferred_at: float = 0.0       # when the deferral started
     failure_counted: bool = False
     last_seen: float = field(default_factory=time.monotonic)
     last_ping: float = 0.0
@@ -79,6 +83,16 @@ class ClusterCoordinator:
         Seconds between pings to idle workers during a submission.
     heartbeat_timeout:
         Silence threshold after which a pinged idle worker is declared dead.
+    context_timeout:
+        Silence threshold for a worker that has not yet acked a broadcast
+        context.  Such workers cannot answer pings (a single-threaded loop
+        unpickling a large context is deaf), so the ordinary heartbeat
+        timeout would shoot every worker on a big transfer; this separate,
+        much longer bound still catches a frozen machine or blackholed
+        link, where no EOF ever arrives (``None`` disables it).  It also
+        bounds each frame send on sockets accepted via
+        :meth:`accept_workers`, so a peer that stops draining its receive
+        buffer cannot hang the broadcast loop itself.
     """
 
     def __init__(
@@ -86,12 +100,16 @@ class ClusterCoordinator:
         task_timeout: float | None = None,
         heartbeat_interval: float = 1.0,
         heartbeat_timeout: float = 10.0,
+        context_timeout: float | None = 60.0,
     ) -> None:
         if task_timeout is not None and task_timeout <= 0:
             raise ValueError("task_timeout must be positive (or None)")
+        if context_timeout is not None and context_timeout <= 0:
+            raise ValueError("context_timeout must be positive (or None)")
         self.task_timeout = task_timeout
         self.heartbeat_interval = float(heartbeat_interval)
         self.heartbeat_timeout = float(heartbeat_timeout)
+        self.context_timeout = context_timeout
         self.reissued_tasks = 0
         self.failed_workers = 0
         self._workers: dict[int, _Worker] = {}
@@ -161,7 +179,15 @@ class ClusterCoordinator:
                     f"only {len(accepted)} of {count} workers connected "
                     f"within {timeout} seconds"
                 ) from None
-            accepted.append(self.add_worker(SocketTransport(sock)))
+            # context_timeout doubles as the send bound: a frozen peer stops
+            # draining its receive buffer, and an unbounded sendall on a big
+            # context frame would hang the broadcast loop before the
+            # heartbeat machinery ever gets to run.
+            accepted.append(
+                self.add_worker(
+                    SocketTransport(sock, send_timeout=self.context_timeout)
+                )
+            )
         return accepted
 
     @property
@@ -249,6 +275,14 @@ class ClusterCoordinator:
                 resolve_result(message[2])
                 if worker.task == message[1]:
                     worker.task = None
+            elif message[0] == "error":
+                # A stale straggler failing after its submission already
+                # returned; swallowing the frame without clearing the task
+                # would wedge the worker as busy-forever.  task_key=None is
+                # a protocol complaint, not a task error — don't let
+                # None == None take the clear-task path for it.
+                if message[1] is not None and worker.task == message[1]:
+                    worker.task = None
         for worker_id in waiting:
             self._mark_dead(self._workers[worker_id])
         return self.n_alive
@@ -279,11 +313,25 @@ class ClusterCoordinator:
             raise ClusterError("no alive workers registered")
         submission = next(self._submission_counter)
 
-        # Broadcast the context; workers ack with ("ready",).
+        # Broadcast the context; workers ack with ("ready",).  The loop is
+        # serial, so with several simultaneously frozen peers the worst
+        # case is one send_timeout *each* before their sends give up —
+        # bounded, unlike the hang an unbounded send would be.
         for worker in self._workers.values():
             if worker.alive:
                 worker.ready = False
-                self._send(worker, ("context", context))
+                worker.context_pending = None  # drop any stale deferral
+                if worker.task is not None:
+                    # Busy with a prior submission's straggler duplicate:
+                    # its single-threaded loop will not drain the socket
+                    # until the shard finishes, so a bounded send could
+                    # falsely kill a healthy worker (and an unbounded one
+                    # could hang on a frozen peer).  Deliver the context
+                    # when the stale result clears the task instead.
+                    worker.context_pending = context
+                    worker.context_deferred_at = time.monotonic()
+                elif self._send(worker, ("context", context)):
+                    worker.last_seen = time.monotonic()
 
         order = sorted(
             range(len(tasks)),
@@ -294,33 +342,41 @@ class ClusterCoordinator:
         done: dict[int, object] = {}
         deadlines: dict[int, float] = {}  # straggler deadline per live index
 
-        while len(done) < len(tasks):
-            self._assign(submission, tasks, pending, queued, done, deadlines)
-            try:
-                worker_id, message = self._inbox.get(timeout=0.05)
-            except queue.Empty:
-                # Only with the inbox drained can "no workers" mean failure:
-                # a worker that died right after sending the final result
-                # enqueues that result *before* its death notice.
-                if self.n_alive == 0:
-                    raise ClusterError(
-                        f"all workers died with {len(tasks) - len(done)} "
-                        "tasks unfinished"
-                    ) from None
-            else:
-                self._handle(
-                    submission, worker_id, message, pending, queued, done, deadlines
-                )
-                while True:  # drain the backlog without blocking
-                    try:
-                        worker_id, message = self._inbox.get_nowait()
-                    except queue.Empty:
-                        break
+        try:
+            while len(done) < len(tasks):
+                self._assign(submission, tasks, pending, queued, done, deadlines)
+                try:
+                    worker_id, message = self._inbox.get(timeout=0.05)
+                except queue.Empty:
+                    # Only with the inbox drained can "no workers" mean
+                    # failure: a worker that died right after sending the
+                    # final result enqueues that result *before* its death
+                    # notice.
+                    if self.n_alive == 0:
+                        raise ClusterError(
+                            f"all workers died with {len(tasks) - len(done)} "
+                            "tasks unfinished"
+                        ) from None
+                else:
                     self._handle(
                         submission, worker_id, message, pending, queued, done, deadlines
                     )
-            self._check_stragglers(pending, queued, done, deadlines)
-            self._heartbeat()
+                    while True:  # drain the backlog without blocking
+                        try:
+                            worker_id, message = self._inbox.get_nowait()
+                        except queue.Empty:
+                            break
+                        self._handle(
+                            submission, worker_id, message, pending, queued, done, deadlines
+                        )
+                self._check_stragglers(pending, queued, done, deadlines)
+                self._heartbeat()
+        finally:
+            # An undelivered deferred context is dead weight once this
+            # submission is over (it can pin the largest object in the
+            # system); the next submission re-broadcasts its own.
+            for worker in self._workers.values():
+                worker.context_pending = None
 
         return [done[index] for index in range(len(tasks))]
 
@@ -335,6 +391,13 @@ class ClusterCoordinator:
                     worker.task = (submission, index)
                     if self.task_timeout is not None:
                         deadlines[index] = time.monotonic() + self.task_timeout
+                else:
+                    # The link broke between the alive check and the write;
+                    # the dead-event bookkeeping sees ``task is None`` and
+                    # requeues nothing, so restore the index ourselves or
+                    # the task is lost and the submission hangs.
+                    pending.appendleft(index)
+                    queued.add(index)
             if not pending:
                 return
 
@@ -355,14 +418,22 @@ class ClusterCoordinator:
             payload = resolve_result(payload)
             if worker.task == task_key:
                 worker.task = None
+                self._deliver_pending_context(worker)
             their_submission, index = task_key
             if their_submission == submission and index not in done:
                 done[index] = payload
                 deadlines.pop(index, None)
         elif kind == "error":
             _, task_key, text = message
+            if task_key is None:
+                # A protocol-level complaint (unknown frame kind), not a
+                # task failure: nothing to unpack or requeue.
+                raise ClusterError(
+                    f"protocol error from worker {worker_id}: {text}"
+                )
             if worker.task == task_key:
                 worker.task = None
+                self._deliver_pending_context(worker)
             their_submission, index = task_key
             # Stale frames — a previous submission's abandoned straggler, or
             # a current task whose re-issued twin already landed — must not
@@ -373,12 +444,21 @@ class ClusterCoordinator:
         elif kind == "dead":
             in_flight = worker.task
             worker.task = None
+            worker.context_pending = None
             self._mark_dead(worker)
             if in_flight is not None:
                 their_submission, index = in_flight
                 if their_submission == submission and index not in done and index not in queued:
                     pending.appendleft(index)
                     queued.add(index)
+
+    def _deliver_pending_context(self, worker: _Worker) -> None:
+        """Send the context deferred while the worker was busy, if any."""
+        if worker.context_pending is not None and worker.alive:
+            context = worker.context_pending
+            worker.context_pending = None
+            if self._send(worker, ("context", context)):
+                worker.last_seen = time.monotonic()
 
     def _check_stragglers(self, pending, queued, done, deadlines) -> None:
         """Requeue overdue in-flight tasks for a second, parallel issue."""
@@ -404,7 +484,35 @@ class ClusterCoordinator:
     def _heartbeat(self) -> None:
         now = time.monotonic()
         for worker in self._workers.values():
-            if not worker.alive or worker.task is not None:
+            if not worker.alive:
+                continue
+            if worker.task is not None:
+                # Busy workers are exempt from health checks — except one
+                # still holding a *deferred* context: its shard belongs to
+                # a finished submission, so if it stays silent past
+                # context_timeout it may be frozen, and as the last worker
+                # standing it would otherwise hang the submission with no
+                # bound at all.  (A healthy worker legitimately crunching a
+                # stale shard that long loses only spare capacity.)
+                if (
+                    worker.context_pending is not None
+                    and self.context_timeout is not None
+                    and now - worker.context_deferred_at > self.context_timeout
+                ):
+                    worker.context_pending = None
+                    self._mark_dead(worker)
+                continue
+            if not worker.ready:
+                # Still receiving/unpickling the broadcast context: deaf to
+                # pings, so the ordinary heartbeat timeout would kill it
+                # mid-transfer.  Only the (long) context_timeout of silence
+                # since the context send declares it dead — that is the one
+                # liveness bound for a frozen peer that never sends EOF.
+                if (
+                    self.context_timeout is not None
+                    and now - worker.last_seen > self.context_timeout
+                ):
+                    self._mark_dead(worker)
                 continue
             if (
                 worker.last_ping > worker.last_seen

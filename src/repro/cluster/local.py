@@ -56,6 +56,10 @@ class LocalCluster:
         them through the link.
     task_timeout:
         Straggler re-issue timeout forwarded to the coordinator.
+    context_timeout:
+        Context-install liveness bound forwarded to the coordinator;
+        raise it when a legitimately huge context takes over a minute to
+        ship and unpickle (``None`` disables the bound).
     connect_timeout:
         Seconds to wait for all socket workers to dial in.
     """
@@ -66,6 +70,7 @@ class LocalCluster:
         transport: str = "socket",
         use_shm: bool = False,
         task_timeout: float | None = None,
+        context_timeout: float | None = 60.0,
         connect_timeout: float = 30.0,
     ) -> None:
         if n_workers < 1:
@@ -74,7 +79,9 @@ class LocalCluster:
             raise ValueError(f"unknown transport {transport!r} (socket or local)")
         self.transport = transport
         self.use_shm = bool(use_shm)
-        self.coordinator = ClusterCoordinator(task_timeout=task_timeout)
+        self.coordinator = ClusterCoordinator(
+            task_timeout=task_timeout, context_timeout=context_timeout
+        )
         self.processes: list[subprocess.Popen] = []
         self._threads: list[threading.Thread] = []
 
@@ -94,19 +101,27 @@ class LocalCluster:
                 self._threads.append(thread)
                 thread.start()
         else:
-            host, port = self.coordinator.listen()
-            command = [
-                sys.executable, "-m", "repro.cluster.worker",
-                "--connect", f"{host}:{port}",
-            ]
-            if self.use_shm:
-                command.append("--shm")
-            environment = _worker_environment()
-            for _ in range(n_workers):
-                self.processes.append(
-                    subprocess.Popen(command, env=environment)
-                )
-            self.coordinator.accept_workers(n_workers, timeout=connect_timeout)
+            try:
+                host, port = self.coordinator.listen()
+                command = [
+                    sys.executable, "-m", "repro.cluster.worker",
+                    "--connect", f"{host}:{port}",
+                ]
+                if self.use_shm:
+                    command.append("--shm")
+                environment = _worker_environment()
+                for _ in range(n_workers):
+                    self.processes.append(
+                        subprocess.Popen(command, env=environment)
+                    )
+                self.coordinator.accept_workers(n_workers, timeout=connect_timeout)
+            except BaseException:
+                # A timeout, spawn failure, or Ctrl-C during the accept
+                # wait would leak subprocesses stuck dialing a dead
+                # listener; reap them.  BaseException: KeyboardInterrupt
+                # mid-wait is the *most* likely abort.
+                self.close()
+                raise
 
     @property
     def n_workers(self) -> int:

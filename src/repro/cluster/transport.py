@@ -22,10 +22,29 @@ from __future__ import annotations
 
 import pickle
 import queue
+import select
 import socket
 import struct
+import time
 
 _HEADER = struct.Struct(">Q")
+
+
+def _poll_ready(sock: socket.socket, write: bool, timeout: float | None) -> bool:
+    """Wait until ``sock`` is ready for one I/O direction; False on timeout.
+
+    ``select.poll`` where available (everywhere but Windows): unlike
+    ``select.select`` it has no FD_SETSIZE cap, which matters in a
+    coordinator holding a thousand worker sockets plus ordinary files.
+    """
+    if hasattr(select, "poll"):
+        poller = select.poll()
+        poller.register(sock, select.POLLOUT if write else select.POLLIN)
+        return bool(poller.poll(None if timeout is None else max(0.0, timeout) * 1000))
+    readable, writable, _ = select.select(
+        [] if write else [sock], [sock] if write else [], [], timeout
+    )
+    return bool(readable or writable)
 
 #: Queue sentinel announcing the peer closed its end of a local link.
 _CLOSED = object()
@@ -122,35 +141,88 @@ class LocalTransport(Transport):
 
 
 class SocketTransport(Transport):
-    """Framed-pickle link over a connected stream socket."""
+    """Framed-pickle link over a connected stream socket.
 
-    def __init__(self, sock: socket.socket) -> None:
+    ``send_timeout`` bounds how long a frame may sit blocked *making no
+    progress* on a full send buffer (a frozen or blackholed peer never
+    drains it; a blocking send would hang the sender forever).  Any bytes
+    accepted reset the clock, so a slow-but-draining link is never killed
+    no matter how large the frame.  Overrunning it counts as a dead link —
+    the stream may hold a partial frame by then, so the connection is
+    unusable either way.
+
+    The socket runs non-blocking with ``select`` pacing both directions:
+    a blocking ``send()`` can stall until its *entire* chunk fits in the
+    peer buffer (so no writability check could bound it), and per-socket
+    ``settimeout`` state would be shared between the coordinator's reader
+    thread and the scheduler thread sending on the same socket.
+    """
+
+    def __init__(self, sock: socket.socket, send_timeout: float | None = None) -> None:
         super().__init__()
         self._sock = sock
         self._buffer = bytearray()
+        self.send_timeout = send_timeout
+        sock.setblocking(False)
         try:
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         except OSError:
             pass  # Unix sockets / socketpairs have no Nagle to disable.
 
+    def _await_ready(
+        self, write: bool, deadline: float | None, on_deadline: TransportError
+    ) -> None:
+        """Pace one non-blocking I/O direction; raise ``on_deadline`` late."""
+        while True:
+            if deadline is None:
+                remaining = None
+            else:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise on_deadline
+            try:
+                if _poll_ready(self._sock, write, remaining):
+                    return
+            except (OSError, ValueError) as error:
+                raise TransportClosed(f"socket closed: {error}") from error
+
     def _send_payload(self, payload: bytes) -> None:
-        try:
-            self._sock.sendall(_HEADER.pack(len(payload)) + payload)
-        except OSError as error:
-            raise TransportClosed(f"send failed: {error}") from error
+        view = memoryview(_HEADER.pack(len(payload)) + payload)
+        deadline = (
+            None if self.send_timeout is None
+            else time.monotonic() + self.send_timeout
+        )
+        on_deadline = TransportClosed(
+            f"send blocked past {self.send_timeout} seconds "
+            "(peer frozen or link blackholed)"
+        )
+        # I/O first, wait only on BlockingIOError: polling before every
+        # chunk would double the syscalls on the bulk-transfer hot path.
+        while view:
+            try:
+                sent = self._sock.send(view)
+            except (BlockingIOError, InterruptedError):
+                self._await_ready(True, deadline, on_deadline)
+                continue
+            except (OSError, ValueError) as error:
+                raise TransportClosed(f"send failed: {error}") from error
+            view = view[sent:]
+            if sent and deadline is not None:
+                # Progress resets the clock: the bound is on a peer that
+                # *stops* draining, not on total frame size over a slow link.
+                deadline = time.monotonic() + self.send_timeout
 
     def _fill(self, target: int, timeout: float | None) -> None:
         """Grow the receive buffer to ``target`` bytes (partials persist)."""
-        try:
-            self._sock.settimeout(timeout)
-        except OSError as error:
-            raise TransportClosed(f"socket closed: {error}") from error
+        deadline = None if timeout is None else time.monotonic() + timeout
+        on_deadline = TransportTimeout(f"no frame within {timeout} seconds")
         while len(self._buffer) < target:
             try:
                 chunk = self._sock.recv(max(65536, target - len(self._buffer)))
-            except socket.timeout:
-                raise TransportTimeout(f"no frame within {timeout} seconds") from None
-            except OSError as error:
+            except (BlockingIOError, InterruptedError):
+                self._await_ready(False, deadline, on_deadline)
+                continue
+            except (OSError, ValueError) as error:
                 raise TransportClosed(f"recv failed: {error}") from error
             if not chunk:
                 raise TransportClosed("peer closed the socket")
@@ -189,8 +261,18 @@ def listen_socket(host: str = "127.0.0.1", port: int = 0) -> socket.socket:
     return sock
 
 
-def connect_socket(host: str, port: int, timeout: float | None = 30.0) -> SocketTransport:
-    """Connect to a listening coordinator and wrap the socket."""
+def connect_socket(
+    host: str,
+    port: int,
+    timeout: float | None = 30.0,
+    send_timeout: float | None = None,
+) -> SocketTransport:
+    """Connect to a listening coordinator and wrap the socket.
+
+    ``send_timeout`` is the no-progress send bound of the resulting
+    transport — without one, a worker streaming a result to a frozen
+    coordinator blocks forever.
+    """
     sock = socket.create_connection((host, port), timeout=timeout)
     sock.settimeout(None)
-    return SocketTransport(sock)
+    return SocketTransport(sock, send_timeout=send_timeout)

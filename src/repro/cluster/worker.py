@@ -72,6 +72,13 @@ def serve(transport: Transport, use_shm: bool = False) -> int:
                 except TransportClosed:
                     discard_result(result)  # nobody will ever attach it
                     raise
+                except Exception:
+                    # An unpicklable result never reached the wire (send
+                    # pickles before writing), so the stream is clean:
+                    # report the failure instead of crashing the loop.
+                    discard_result(result)
+                    transport.send(("error", task_id, traceback.format_exc(limit=5)))
+                    continue
                 completed += 1
             elif kind == "ping":
                 transport.send(("pong", message[1]))
@@ -101,9 +108,16 @@ def main(argv: list[str] | None = None) -> int:
         help="return partial evidence sets as shared-memory handles "
              "(coordinator must be on this machine)",
     )
+    parser.add_argument(
+        "--send-timeout", type=float, default=60.0, metavar="SECONDS",
+        help="give up on a send making no progress for this long — a "
+             "frozen coordinator would otherwise hang the worker forever "
+             "(0 disables the bound; default %(default)s)",
+    )
     args = parser.parse_args(argv)
     host, port = parse_address(args.connect)
-    transport = connect_socket(host, port)
+    send_timeout = args.send_timeout if args.send_timeout > 0 else None
+    transport = connect_socket(host, port, send_timeout=send_timeout)
     serve(transport, use_shm=args.shm)
     return 0
 

@@ -37,6 +37,7 @@ from repro.cluster import (
     resolve_coordinator,
     shard_tasks,
 )
+from repro.cluster.transport import TransportError
 from repro.cluster.worker import serve
 from repro.core.evidence_builder import EVIDENCE_METHODS, build_evidence_set
 from repro.core.miner import ADCMiner
@@ -71,6 +72,16 @@ class OneSlowShardContext:
         if task[0] == 0:
             time.sleep(self.sleep_seconds)
         return self.inner.run(task)
+
+
+class UnpicklableResultContext:
+    """Context whose ``"bad"`` task computes fine but yields an
+    unpicklable result, failing only at the worker's reply send."""
+
+    def run(self, task):
+        if task == "bad":
+            return lambda: None
+        return task
 
 
 class TestTransports:
@@ -111,6 +122,21 @@ class TestTransports:
         a.close()
         with pytest.raises(TransportClosed):
             b.recv(timeout=5.0)
+
+    def test_socket_send_timeout_bounds_a_frozen_peer(self):
+        """A peer that stops draining its buffer cannot hang the sender."""
+        import socket as socket_module
+
+        left, right = socket_module.socketpair()
+        sender = SocketTransport(left, send_timeout=0.3)
+        start = time.monotonic()
+        with pytest.raises(TransportClosed, match="blocked past"):
+            # Far beyond any kernel buffer pair; the peer never reads, so
+            # an unbounded sendall would block forever.
+            sender.send(b"x" * (1 << 23))
+        assert time.monotonic() - start < 5.0
+        left.close()
+        right.close()
 
     def test_parse_address(self):
         assert parse_address("10.0.0.7:9000") == ("10.0.0.7", 9000)
@@ -181,6 +207,36 @@ class TestCoordinator:
             )
             assert good[0].recorded_pairs > 0
 
+    def test_unpicklable_result_reports_error_and_worker_survives(self):
+        """A result that fails to pickle must become an error frame, not
+        kill the worker loop (which would cascade across the cluster)."""
+        with LocalCluster(1, transport="local") as cluster:
+            with pytest.raises(ClusterError, match="task failed"):
+                cluster.submit(UnpicklableResultContext(), ["bad"])
+            # The loop survived the failed send and still serves work.
+            assert cluster.submit(UnpicklableResultContext(), ["fine"]) == ["fine"]
+            assert cluster.coordinator.n_alive == 1
+
+    def test_protocol_error_frame_raises_explicit_cluster_error(self):
+        """An ('error', None, ...) frame — a worker's unknown-message-kind
+        complaint — must surface as a ClusterError, not a TypeError from
+        unpacking None."""
+        coordinator = ClusterCoordinator()
+        coordinator_end, worker_end = LocalTransport.pair()
+        coordinator.add_worker(coordinator_end)
+
+        def rogue(transport):
+            transport.recv()  # context
+            transport.send(("ready",))
+            transport.send(("error", None, "unknown message kind 'bogus'"))
+
+        threading.Thread(target=rogue, args=(worker_end,), daemon=True).start()
+        try:
+            with pytest.raises(ClusterError, match="protocol error"):
+                coordinator.submit(object(), [0, 1])
+        finally:
+            coordinator.shutdown()
+
     def test_ping_reports_live_workers(self):
         with LocalCluster(3, transport="local") as cluster:
             assert cluster.coordinator.ping(timeout=5.0) == 3
@@ -190,6 +246,192 @@ class TestCoordinator:
         assert resolve_coordinator(coordinator) is coordinator
         with pytest.raises(TypeError):
             resolve_coordinator(object())
+
+    def test_context_deferred_to_worker_busy_with_stale_straggler(self):
+        """A new submission's context reaches a still-busy worker safely.
+
+        The worker crunching a prior submission's re-issued duplicate will
+        not drain its socket until the shard finishes, so the context is
+        deferred until the stale result clears the task — the worker must
+        then ack ready, serve the new submission, and never be counted as
+        failed.
+        """
+        _, space, kernel, tiles, reference = make_workload()
+        with LocalCluster(2, transport="local", task_timeout=0.2) as cluster:
+            coordinator = cluster.coordinator
+            slow = OneSlowShardContext(
+                TileFoldContext(kernel, tiles), sleep_seconds=1.5
+            )
+            tasks, weights = shard_tasks(tiles, 4)
+            partials = coordinator.submit(slow, tasks, weights)
+            assert_evidence_identical(
+                merge_partials_tree(partials).finalize(space), reference
+            )
+            # Straight into a second submission while the duplicate of the
+            # slow shard is typically still in flight on one worker.
+            partials = coordinator.submit(TileFoldContext(kernel, tiles), tasks, weights)
+            assert_evidence_identical(
+                merge_partials_tree(partials).finalize(space), reference
+            )
+            assert coordinator.failed_workers == 0
+            # No submission may leave a deferred context pinned in memory.
+            assert all(
+                worker.context_pending is None
+                for worker in coordinator._workers.values()
+            )
+
+    def test_frozen_stale_busy_worker_is_bounded_by_context_timeout(self):
+        """A worker frozen mid-stale-shard cannot dodge every liveness bound.
+
+        Busy workers are heartbeat-exempt and a stale shard has no
+        straggler deadline in the new submission, so once its context is
+        deferred the deferral itself must be bounded — otherwise a frozen
+        worker could become the submission's only, unbounded path to
+        progress.
+        """
+        _, space, kernel, tiles, reference = make_workload()
+        coordinator = ClusterCoordinator(task_timeout=0.2, context_timeout=0.5)
+
+        def black_hole(transport):
+            # Acks contexts, swallows tasks forever: frozen mid-shard.
+            while True:
+                message = transport.recv()
+                if message[0] == "context":
+                    transport.send(("ready",))
+                elif message[0] == "task":
+                    time.sleep(3600.0)
+                elif message[0] == "ping":
+                    transport.send(("pong", message[1]))
+                else:
+                    return
+
+        hole_end, hole_worker_end = LocalTransport.pair()
+        coordinator.add_worker(hole_end)
+        threading.Thread(target=black_hole, args=(hole_worker_end,), daemon=True).start()
+        real_end, real_worker_end = LocalTransport.pair()
+        coordinator.add_worker(real_end)
+        threading.Thread(target=serve, args=(real_worker_end,), daemon=True).start()
+        try:
+            # Two slowish tasks so each worker takes one; the black hole
+            # swallows its task, which is then re-issued to the real worker.
+            inner = TileFoldContext(kernel, tiles)
+            tasks, weights = shard_tasks(tiles, 2)
+            partials = coordinator.submit(
+                OneSlowShardContext(inner, sleep_seconds=0.3), tasks, weights
+            )
+            assert_evidence_identical(
+                merge_partials_tree(partials).finalize(space), reference
+            )
+            # Second submission defers its context to the still-busy frozen
+            # worker; the deferral bound must retire it mid-submission.
+            tasks, weights = shard_tasks(tiles, 4)
+            partials = coordinator.submit(
+                OneSlowShardContext(inner, sleep_seconds=1.0), tasks, weights
+            )
+            assert_evidence_identical(
+                merge_partials_tree(partials).finalize(space), reference
+            )
+            assert coordinator.failed_workers == 1
+            assert coordinator.n_alive == 1
+        finally:
+            coordinator.shutdown()
+
+    def test_ping_clears_task_on_stale_error_frame(self):
+        """A straggler failing after its submission returned must not wedge
+        the worker as busy-forever (skipped by heartbeat and assignment)."""
+        _, space, kernel, tiles, reference = make_workload()
+        coordinator = ClusterCoordinator(task_timeout=0.2)
+
+        def sluggish_failer(transport):
+            # Acks the context, then fails its task only after the real
+            # worker has finished everything and submit() has returned.
+            while True:
+                message = transport.recv()
+                if message[0] == "context":
+                    transport.send(("ready",))
+                elif message[0] == "task":
+                    time.sleep(0.8)
+                    transport.send(("error", message[1], "late failure"))
+                elif message[0] == "ping":
+                    transport.send(("pong", message[1]))
+                else:
+                    return
+
+        coordinator_end, worker_end = LocalTransport.pair()
+        coordinator.add_worker(coordinator_end)
+        threading.Thread(target=sluggish_failer, args=(worker_end,), daemon=True).start()
+        real_end, real_worker_end = LocalTransport.pair()
+        coordinator.add_worker(real_end)
+        threading.Thread(target=serve, args=(real_worker_end,), daemon=True).start()
+        try:
+            tasks, weights = shard_tasks(tiles, 4)
+            partials = coordinator.submit(TileFoldContext(kernel, tiles), tasks, weights)
+            assert_evidence_identical(
+                merge_partials_tree(partials).finalize(space), reference
+            )
+            time.sleep(1.0)  # let the late error frame land in the inbox
+            coordinator.ping(timeout=5.0)
+            assert all(
+                worker.task is None for worker in coordinator._workers.values()
+            )
+        finally:
+            coordinator.shutdown()
+
+    def test_frozen_worker_during_context_install_is_declared_dead(self):
+        """context_timeout is the liveness bound for a peer that never acks.
+
+        A frozen machine or blackholed link sends no EOF; without this
+        bound a lone worker stuck installing the context would spin
+        ``submit`` forever (not-ready workers are deaf to pings, so the
+        ordinary heartbeat timeout cannot apply to them).
+        """
+        coordinator = ClusterCoordinator(context_timeout=0.3)
+        coordinator_end, worker_end = LocalTransport.pair()
+        coordinator.add_worker(coordinator_end)
+        # The "worker" swallows the context and then freezes: no ready ack,
+        # no EOF, nothing.
+        threading.Thread(target=worker_end.recv, daemon=True).start()
+        try:
+            with pytest.raises(ClusterError, match="all workers died"):
+                coordinator.submit(object(), [0])
+            assert coordinator.failed_workers == 1
+        finally:
+            coordinator.shutdown()
+
+    def test_send_failure_during_assign_requeues_the_task(self):
+        """A task whose hand-out write fails must not be silently lost.
+
+        The link breaking between the alive check and the task send leaves
+        the worker dead with no in-flight task recorded, so the dead-event
+        handler requeues nothing — the assign path itself must restore the
+        index or the submission hangs with the task stranded.
+        """
+        _, space, kernel, tiles, reference = make_workload()
+        with LocalCluster(2, transport="local") as cluster:
+            coordinator = cluster.coordinator
+            victim = coordinator._workers[0]
+            original_send = victim.transport.send
+
+            def failing_send(message):
+                if message[0] == "task":
+                    raise TransportError("injected: link broke before the write")
+                original_send(message)
+
+            victim.transport.send = failing_send
+            tasks, weights = shard_tasks(tiles, 8)
+            results: list = []
+            runner = threading.Thread(
+                target=lambda: results.append(
+                    coordinator.submit(TileFoldContext(kernel, tiles), tasks, weights)
+                ),
+                daemon=True,
+            )
+            runner.start()
+            runner.join(timeout=30.0)
+            assert not runner.is_alive(), "submission hung: task lost on send failure"
+            assert_evidence_identical(
+                merge_partials_tree(results[0]).finalize(space), reference
+            )
 
     def test_straggler_is_reissued_to_idle_worker(self):
         _, space, kernel, tiles, reference = make_workload()
@@ -322,6 +564,12 @@ class TestMinerValidation:
             LocalCluster(0, transport="local")
         with pytest.raises(ValueError, match="transport"):
             LocalCluster(1, transport="carrier-pigeon")
+        with pytest.raises(ValueError, match="context_timeout"):
+            LocalCluster(1, transport="local", context_timeout=-1.0)
+
+    def test_local_cluster_forwards_context_timeout(self):
+        with LocalCluster(1, transport="local", context_timeout=5.0) as cluster:
+            assert cluster.coordinator.context_timeout == 5.0
 
 
 class TestWorkerLoop:
