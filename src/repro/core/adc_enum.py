@@ -20,27 +20,29 @@ function, extended from the MMCS enumerator of Murakami and Uno with
 The enumerated hitting set ``S`` is a set of predicates; the reported DC is
 ``S_phi = complement(S)``.
 
-The search recursion is **word-native**: no Python-int bitmask is touched
-inside ``_search``.  Candidate sets and per-predicate group masks are packed
-``(n_words,)`` uint64 vectors over predicate bits, the uncovered set and the
-per-element criticality bookkeeping are packed bitsets over evidence bits
-(:class:`~repro.core.bitset.CriticalityPlanes`), and the per-evidence count
-of remaining candidate predicates — which answers both "which uncovered
-evidences can still be hit" and the max/min intersection selection rule — is
-maintained *incrementally* across recursive calls from the bits each branch
-removes, instead of being recomputed against the full candidate plane at
-every node.  Chosen evidences are read directly from the packed
+The search is **word-native and stack-explicit**: no Python-int bitmask is
+touched inside the hot loop, and no Python recursion happens at all.  All
+per-node state — the transposed evidence plane, candidate planes, overlap
+counters, criticality bookkeeping — lives in a per-depth arena
+(:class:`repro.native.NumpySearchWorkspace` and its compiled twin) owned by
+the dispatched kernel backend (:mod:`repro.native.dispatch`), so a search
+node is a handful of fused kernel calls writing into preallocated buffers
+instead of dozens of small numpy dispatches allocating fresh arrays.  The
+driver (:meth:`ADCEnum._run_search`) walks an explicit frame stack, which
+removes the old ``sys.setrecursionlimit`` mutation and the recursion-depth
+ceiling on deep skip chains: depth is bounded only by the number of
+predicates.  Chosen evidences are read directly from the packed
 ``evidence.words`` plane; the lazy Python-int ``masks`` view is never
 consulted.  This is the Python-level reproduction of DCFinder's bit-level
 engineering, without which the enumeration would be orders of magnitude
 slower (``benchmarks/bench_enum_core.py`` tracks the node rate against the
-pre-refactor core kept in :mod:`repro.core.legacy_enum`).
+pre-refactor core kept in :mod:`repro.core.legacy_enum`, and
+``benchmarks/bench_kernels.py`` the compiled-vs-numpy backend ratio).
 """
 
 from __future__ import annotations
 
 import math
-import sys
 import time
 from dataclasses import dataclass, field
 from typing import Iterator, Literal, Sequence
@@ -49,20 +51,40 @@ import numpy as np
 
 from repro.core.approximation import ApproximationFunction, F1
 from repro.core.bitset import (
-    BIT_TABLE as _BIT_TABLE,
-    CriticalityPlanes,
     full_bits,
     pack_bool_rows,
     popcount,
-    set_bit,
     unpack_bits,
     word_bits_list,
 )
 from repro.core.dc import DenialConstraint
 from repro.core.evidence import EvidenceSet, masks_to_words
 from repro.core.predicate_space import iter_bits
+from repro.native import dispatch as native_dispatch
+from repro.native.numpy_backend import (
+    DESCENDED,
+    PRUNED,
+    selection_code,
+)
 
 SelectionStrategy = Literal["max", "min", "random"]
+
+
+class _Frame:
+    """One explicit-stack search frame (pooled per depth, reused in place).
+
+    Frames carry only scalars; the array state of the node lives in the
+    workspace slot of the same depth.  ``phase`` sequences the node through
+    enter/base-case (0), hit-loop setup (1) and the hit loop itself (2);
+    ``returning`` marks that the frame is being resumed after a descended
+    child, so the loop replays the post-child bookkeeping (criticality pop,
+    hitting-set pop) before advancing.
+    """
+
+    __slots__ = (
+        "n", "uncovered_pairs", "dead_pairs", "phase", "n_to_try",
+        "k", "position", "elements", "returning", "root_branch",
+    )
 
 
 @dataclass
@@ -192,6 +214,41 @@ class ADCEnum:
         # predicate's whole group with a single AND against this plane.
         self._group_words_inv = ~self._group_words
         self._full_cand_words = full_bits(self._n_predicates)
+        self._total_pairs = self.evidence.total_pairs
+        # A function that declares its score fully determined by the
+        # violating-pair fraction (f1 and the adjusted f1') lets every
+        # threshold test in the search collapse to scalar arithmetic on the
+        # maintained counter.  It also licenses the dead-evidence
+        # compaction: evidences whose candidate overlap reaches zero are
+        # dropped from the threaded vectors (their pairs accumulate in the
+        # dead_pairs scalar), because only their pair total — never their
+        # identity — can still influence a threshold test; the uncovered
+        # index list is rebuilt from uncov_bits at emission time.  Functions
+        # that inspect the uncovered multiset (f2/f3) — or that only have a
+        # *partial* pair shortcut — keep the full vectors and the explicit
+        # index array.
+        self._pair_determined = self._total_pairs == 0 or self.function.pair_determined
+        # The search arena is built lazily on the first run and reused by
+        # later runs of the same instance (slot buffers stay warm); it is
+        # rebuilt if the dispatched backend changes between runs (tests).
+        self._workspace = None
+        self._workspace_backend = None
+
+    def _get_workspace(self):
+        backend = native_dispatch.get_backend()
+        if self._workspace is None or self._workspace_backend is not backend:
+            self._workspace = backend.make_search_workspace(
+                ev_planes=self._ev_planes,
+                counts=self._counts,
+                contains_ev_words=self._contains_ev_words,
+                group_words_inv=self._group_words_inv,
+                full_cand_words=self._full_cand_words,
+                n_evidences=self._n_evidences,
+                n_predicates=self._n_predicates,
+                track_uncov=not self._pair_determined,
+            )
+            self._workspace_backend = backend
+        return self._workspace
 
     # ------------------------------------------------------------------
     # Public API
@@ -203,59 +260,17 @@ class ADCEnum:
     def iter_adcs(self) -> Iterator[DiscoveredADC]:
         """Yield all minimal nontrivial ADCs (computed eagerly, then yielded).
 
-        The search itself runs as a plain recursion rather than a generator
-        chain — outputs are rare relative to search nodes, and dragging every
-        node through the iterator protocol measurably slows the hot loop.
+        The search runs as an explicit frame stack over the native arena
+        rather than a generator chain — outputs are rare relative to search
+        nodes, and dragging every node through the iterator protocol (or
+        the interpreter's call machinery) measurably slows the hot loop.
         """
         self.statistics = EnumerationStatistics()
         started = time.perf_counter()
-        sys.setrecursionlimit(max(sys.getrecursionlimit(), 50_000))
-
-        uncov_bits = full_bits(self._n_evidences)
-        uncovered_pairs = int(self._counts.sum()) if self._n_evidences else 0
-        cand_words = self._full_cand_words.copy()
-        # cand_counts[i] = |uncov[i] ∩ candidate set|: the overlap vector is
-        # threaded through the recursion (skip children reuse the reduced
-        # vector their parent already computed for the WillCover test), so a
-        # node never recomputes it against the full candidate plane.  The
-        # per-evidence pair multiplicities and canHit flags are threaded the
-        # same way, aligned with uncov.
-        cand_counts = self._intersection_counts(self._ev_planes, cand_words)
-        self._crit = CriticalityPlanes(self._n_evidences, self._n_predicates + 1)
         self._seen_outputs: set[int] = set()
         self._results: list[DiscoveredADC] = []
-        self._total_pairs = self.evidence.total_pairs
-        # A function that declares its score fully determined by the
-        # violating-pair fraction (f1 and the adjusted f1') lets every
-        # threshold test in the recursion collapse to scalar arithmetic on
-        # the maintained counter.  It also licenses the dead-evidence
-        # compaction: evidences whose candidate overlap reaches zero are
-        # dropped from the threaded vectors (their pairs accumulate in the
-        # dead_pairs scalar), because only their pair total — never their
-        # identity — can still influence a threshold test; the uncovered
-        # index list is rebuilt from uncov_bits at emission time.  Functions
-        # that inspect the uncovered multiset (f2/f3) — or that only have a
-        # *partial* pair shortcut — keep the full vectors and the explicit
-        # index array.
-        self._pair_determined = self._total_pairs == 0 or self.function.pair_determined
-        uncov = (
-            None
-            if self._pair_determined
-            else np.arange(self._n_evidences, dtype=np.int64)
-        )
-
-        self._pending_root_branch = self.root_branch
-        self._search(
-            s_elements=[],
-            uncov=uncov,
-            ev_uncov=self._ev_planes,
-            uncov_bits=uncov_bits,
-            uncovered_pairs=uncovered_pairs,
-            dead_pairs=0,
-            cand_words=cand_words,
-            cand_counts=cand_counts,
-            counts_uncov=self._counts,
-        )
+        workspace = self._get_workspace()
+        self._run_search(workspace)
         self.statistics.elapsed_seconds = time.perf_counter() - started
         yield from self._results
 
@@ -360,7 +375,7 @@ class ADCEnum:
         # One batched unpack answers every member's "how many pairs would
         # dropping it un-cover" question; the per-member index lists are only
         # materialised for functions the pair fraction cannot decide.
-        crit_bools = unpack_bits(self._crit.active_rows(), self._n_evidences)
+        crit_bools = unpack_bits(self._workspace.crit_active_rows(), self._n_evidences)
         extra_pairs_vector = crit_bools @ self._counts
         uncov_indices: list[int] | None = None
         for depth in range(len(s_elements)):
@@ -380,181 +395,209 @@ class ADCEnum:
         return True
 
     # ------------------------------------------------------------------
-    # Recursion
+    # Explicit-stack search
     # ------------------------------------------------------------------
-    def _search(
-        self,
-        s_elements: list[int],
-        uncov: np.ndarray | None,
-        ev_uncov: np.ndarray,
-        uncov_bits: np.ndarray,
-        uncovered_pairs: int,
-        dead_pairs: int,
-        cand_words: np.ndarray,
-        cand_counts: np.ndarray,
-        counts_uncov: np.ndarray,
-    ) -> None:
+    def _run_search(self, workspace) -> None:
+        """Drive the Figure 4/5 search as an explicit frame stack.
+
+        The traversal order, branch bookkeeping and statistics increments
+        reproduce the former recursive implementation exactly (the
+        cross-checks against :class:`repro.core.legacy_enum.LegacyADCEnum`
+        compare counter-for-counter); only the mechanism changed — frames
+        are pooled per depth, the array state lives in the workspace arena,
+        and each node is a handful of fused kernel calls.  Depth is bounded
+        by the predicate count (every level consumes at least one
+        candidate), not by the interpreter's recursion limit.
+
+        Frame phases: 0 = enter (base case + expansion + skip branch),
+        1 = hit-loop setup (WillCover prune resolved, skip subtree done),
+        2 = hit loop (one ``try_hit`` per candidate element, descending
+        into child frames and resuming through ``returning``).
+        """
         statistics = self.statistics
-        statistics.recursive_calls += 1
-        # Root-branch restriction (distributed enumeration): consumed by the
-        # first node only; every deeper node sees None and searches in full.
-        root_branch = self._pending_root_branch
-        if root_branch is not None:
-            self._pending_root_branch = None
         total = self._total_pairs
         pair_determined = self._pair_determined
-        function = self.function
+        pair_score = self.function.violation_score_from_pair_fraction
         epsilon = self.epsilon
+        selection = selection_code(self.selection)
+        max_dc_size = self.max_dc_size
 
-        # Base case (Figure 4, lines 1-3): report S when it passes the
-        # threshold and is minimal.  Whenever the threshold is met, no strict
-        # superset can be a *minimal* ADC (monotonicity), so the branch ends.
-        if pair_determined:
-            passes = (
-                total == 0
-                or function.violation_score_from_pair_fraction(
-                    uncovered_pairs / total, total
-                )
-                <= epsilon
-            )
-        else:
-            passes = self._passes_lazy(uncov, uncovered_pairs)
-        if passes:
-            if self._is_minimal(s_elements, uncov, uncovered_pairs):
-                self._emit(s_elements, uncov, uncov_bits)
-            return
+        n_root = workspace.init_root()
+        s_elements: list[int] = []
+        frames = [_Frame()]
+        root = frames[0]
+        root.n = n_root
+        root.uncovered_pairs = int(self._counts.sum()) if n_root else 0
+        root.dead_pairs = 0
+        root.phase = 0
+        root.returning = False
+        # Root-branch restriction (distributed enumeration): carried by the
+        # root frame only; every deeper frame searches its subtree in full.
+        root.root_branch = self.root_branch
+        depth = 0
+        max_depth = 0
 
-        # Line 4: choose an uncovered evidence that may still be hit.  We
-        # additionally require a non-empty intersection with the candidate
-        # list: an evidence without candidate predicates can never be hit in
-        # this subtree, and because every approximation function here is
-        # determined by the uncovered-evidence multiset, skipping it loses no
-        # minimal ADC (it simply stays uncovered).  The intersection sizes
-        # come from the threaded cand_counts vector; they also answer the
-        # max/min selection rule without another popcount pass.
-        selectable_positions = (cand_counts > 0).nonzero()[0]
-        if selectable_positions.size == 0:
-            return
-        chosen_position = self._choose_evidence(
-            selectable_positions, cand_counts, statistics.recursive_calls
-        )
-        chosen_words = ev_uncov[:, chosen_position]
+        while depth >= 0:
+            frame = frames[depth]
+            phase = frame.phase
 
-        # ------------------------------------------------------------------
-        # First recursive call (lines 7-12): do NOT hit the chosen evidence.
-        # ------------------------------------------------------------------
-        to_try = cand_words & chosen_words
-        reduced_cand = cand_words & ~chosen_words
-        delta = self._intersection_counts(ev_uncov, to_try)
-        reduced_counts = cand_counts - delta
-        if root_branch is None or root_branch == "skip":
-            lost_positions = (reduced_counts <= 0).nonzero()[0]
-            will_cover_pairs = dead_pairs + int(
-                np.add.reduce(counts_uncov.take(lost_positions))
-            )
-            if pair_determined:
-                will_cover_passes = (
-                    function.violation_score_from_pair_fraction(
-                        will_cover_pairs / total, total
+            if phase == 2:
+                # Hit loop (Figure 4 lines 13-22).  Resuming after a
+                # descended child replays the post-child bookkeeping first.
+                if frame.returning:
+                    frame.returning = False
+                    workspace.crit_pop()
+                    s_elements.pop()
+                    if frame.elements[frame.position] == frame.root_branch:
+                        depth -= 1
+                        continue
+                    frame.position += 1
+                descended = False
+                while frame.position < frame.k:
+                    root_branch = frame.root_branch
+                    element = frame.elements[frame.position]
+                    # Under a root-branch restriction, siblings before the
+                    # target element are *replayed* (criticality round-trip
+                    # and candidate re-addition, which shape the target's
+                    # subtree) but their subtrees are not descended into.
+                    descend = root_branch is None or element == root_branch
+                    status, _, child_n, child_pairs = workspace.try_hit(
+                        depth, frame.n, frame.position, descend
                     )
-                    <= epsilon
-                )
-            else:
-                will_cover_passes = self._passes_lazy(
-                    uncov.take(lost_positions), will_cover_pairs
-                )
-            if will_cover_passes:
-                statistics.skip_branches += 1
+                    if status == DESCENDED:
+                        statistics.hit_branches += 1
+                        s_elements.append(element)
+                        frame.returning = True
+                        child = self._frame_at(frames, depth + 1)
+                        child.n = child_n
+                        child.uncovered_pairs = frame.dead_pairs + child_pairs
+                        child.dead_pairs = frame.dead_pairs
+                        child.phase = 0
+                        child.returning = False
+                        child.root_branch = None
+                        depth += 1
+                        if depth > max_depth:
+                            max_depth = depth
+                        descended = True
+                        break
+                    if status == PRUNED:
+                        statistics.pruned_by_criticality += 1
+                        if element == root_branch:
+                            # The restricted element was pruned: the whole
+                            # restricted subtree is this empty visit.
+                            break
+                    frame.position += 1
+                if not descended:
+                    depth -= 1
+                continue
+
+            if phase == 0:
+                statistics.recursive_calls += 1
+                n = frame.n
+                uncovered_pairs = frame.uncovered_pairs
+
+                # Base case (Figure 4, lines 1-3): report S when it passes
+                # the threshold and is minimal.  Whenever the threshold is
+                # met, no strict superset can be a *minimal* ADC
+                # (monotonicity), so the branch ends.
                 if pair_determined:
-                    # Dead-evidence compaction: an evidence with no candidate
-                    # overlap can never be covered or selected anywhere in this
-                    # subtree (every future element comes from the shrinking
-                    # candidate set), so only its pair total still matters.
-                    # Dropping it shrinks every descendant's vectors; its pairs
-                    # move into the dead_pairs scalar.
-                    alive_positions = (reduced_counts > 0).nonzero()[0]
-                    self._search(
-                        s_elements,
-                        None,
-                        ev_uncov.take(alive_positions, axis=1),
-                        uncov_bits,
-                        uncovered_pairs,
-                        will_cover_pairs,
-                        reduced_cand,
-                        reduced_counts.take(alive_positions),
-                        counts_uncov.take(alive_positions),
+                    uncov = None
+                    passes = (
+                        total == 0
+                        or pair_score(uncovered_pairs / total, total) <= epsilon
                     )
                 else:
-                    self._search(
-                        s_elements, uncov, ev_uncov, uncov_bits, uncovered_pairs,
-                        dead_pairs, reduced_cand, reduced_counts, counts_uncov,
-                    )
-            else:
-                statistics.pruned_by_willcover += 1
-        if root_branch == "skip":
-            return
+                    uncov = workspace.uncov_view(depth, n)
+                    passes = self._passes_lazy(uncov, uncovered_pairs)
+                if passes:
+                    if self._is_minimal(s_elements, uncov, uncovered_pairs):
+                        self._emit(
+                            s_elements, uncov, workspace.uncov_bits_view(depth)
+                        )
+                    depth -= 1
+                    continue
 
-        # ------------------------------------------------------------------
-        # Second recursive call (lines 13-22): hit the chosen evidence with
-        # each candidate predicate in turn (the MMCS expansion).  The
-        # criticality planes and child uncovered bitsets are gathered in one
-        # batch up front; a predicate's coverage row over uncov is read off
-        # a single word column of the threaded ev_uncov plane, and after a
-        # criticality prune the per-element work is zero.  reduced_cand is
-        # reused as the loop's candidate plane: the skip subtree has fully
-        # returned, so mutating it via set_bit is safe.
-        # ------------------------------------------------------------------
-        if self.max_dc_size is not None and len(s_elements) >= self.max_dc_size:
-            return
-        cand_loop = reduced_cand
-        elements = word_bits_list(to_try)
-        covers_block = self._contains_ev_words[elements]
-        crit_block = covers_block & uncov_bits
-        child_bits_block = uncov_bits & ~covers_block
-        group_words_inv = self._group_words_inv
-        bit_table = _BIT_TABLE
-        crit = self._crit
-        for position, element in enumerate(elements):
-            viable, removed_crit = crit.apply(
-                crit_block[position], covers_block[position]
-            )
-            if viable:
-                # Under a root-branch restriction, siblings before the
-                # target element are *replayed* (criticality round-trip and
-                # candidate re-addition, which shape the target's subtree)
-                # but their own subtrees are not descended into.
-                if root_branch is None or element == root_branch:
-                    statistics.hit_branches += 1
-                    keep_positions = (
-                        (ev_uncov[element >> 6] & bit_table[element & 63]) == 0
-                    ).nonzero()[0]
-                    counts_remaining = counts_uncov.take(keep_positions)
-                    # Pairs still uncovered in the child = pairs of the kept
-                    # evidences plus the compacted dead ones; the covered-pair
-                    # delta needs no extra pass.
-                    remaining_pairs = dead_pairs + int(np.add.reduce(counts_remaining))
-                    ev_remaining = ev_uncov.take(keep_positions, axis=1)
-                    child_cand = cand_loop & group_words_inv[element]
-                    child_counts = self._intersection_counts(ev_remaining, child_cand)
-                    s_elements.append(element)
-                    self._search(
-                        s_elements,
-                        None if uncov is None else uncov.take(keep_positions),
-                        ev_remaining,
-                        child_bits_block[position],
-                        remaining_pairs,
-                        dead_pairs,
-                        child_cand,
-                        child_counts,
-                        counts_remaining,
-                    )
-                    s_elements.pop()
-                set_bit(cand_loop, element)
-            else:
-                statistics.pruned_by_criticality += 1
-            crit.undo(removed_crit)
-            if element == root_branch:
-                return
+                # Line 4: choose an uncovered evidence that may still be
+                # hit.  We additionally require a non-empty intersection
+                # with the candidate list: an evidence without candidate
+                # predicates can never be hit in this subtree, and because
+                # every approximation function here is determined by the
+                # uncovered-evidence multiset, skipping it loses no minimal
+                # ADC (it simply stays uncovered).  The expansion kernel
+                # answers the selection rule, the skip-branch candidate
+                # planes, the reduced overlap counts and the WillCover pair
+                # total in one fused pass.
+                chosen, n_selectable, lost_pairs, n_to_try = workspace.expand(
+                    depth, n, selection, statistics.recursive_calls
+                )
+                if n_selectable == 0:
+                    depth -= 1
+                    continue
+                frame.n_to_try = n_to_try
+                frame.phase = 1
+
+                # Skip branch (lines 7-12): do NOT hit the chosen evidence,
+                # guarded by the WillCover monotonicity prune.
+                root_branch = frame.root_branch
+                if root_branch is None or root_branch == "skip":
+                    will_cover_pairs = frame.dead_pairs + lost_pairs
+                    if pair_determined:
+                        will_cover_passes = (
+                            pair_score(will_cover_pairs / total, total) <= epsilon
+                        )
+                    else:
+                        lost_positions = (
+                            workspace.red_view(depth, n) == 0
+                        ).nonzero()[0]
+                        will_cover_passes = self._passes_lazy(
+                            uncov.take(lost_positions), will_cover_pairs
+                        )
+                    if will_cover_passes:
+                        statistics.skip_branches += 1
+                        # Dead-evidence compaction (pair-determined only):
+                        # an evidence with no candidate overlap can never be
+                        # covered or selected anywhere in this subtree, so
+                        # only its pair total still matters; dropping it
+                        # shrinks every descendant's vectors and its pairs
+                        # move into the dead_pairs scalar.
+                        child_n = workspace.skip_child(depth, n, pair_determined)
+                        child = self._frame_at(frames, depth + 1)
+                        child.n = child_n
+                        child.uncovered_pairs = uncovered_pairs
+                        child.dead_pairs = (
+                            will_cover_pairs if pair_determined else frame.dead_pairs
+                        )
+                        child.phase = 0
+                        child.returning = False
+                        child.root_branch = None
+                        depth += 1
+                        if depth > max_depth:
+                            max_depth = depth
+                        continue
+                    statistics.pruned_by_willcover += 1
+                continue
+
+            # phase == 1: the skip subtree (if any) has returned; set up the
+            # hit loop over the chosen evidence's candidate predicates.
+            if frame.root_branch == "skip":
+                depth -= 1
+                continue
+            if max_dc_size is not None and len(s_elements) >= max_dc_size:
+                depth -= 1
+                continue
+            frame.k = workspace.hit_prepare(depth, frame.n, frame.n_to_try)
+            frame.elements = workspace.elements_list(depth, frame.k)
+            frame.position = 0
+            frame.returning = False
+            frame.phase = 2
+
+        statistics.extra["max_stack_depth"] = float(max_depth)
+
+    @staticmethod
+    def _frame_at(frames: list[_Frame], depth: int) -> _Frame:
+        if len(frames) <= depth:
+            frames.append(_Frame())
+        return frames[depth]
 
     # ------------------------------------------------------------------
     # Bookkeeping helpers

@@ -11,10 +11,8 @@ recursion free of Python-int bitmask churn.
 Bit layout matches the evidence words everywhere: bit ``b`` of a bitset
 lives at word ``b // 64``, bit ``b % 64`` (word 0 least significant).
 
-``popcount`` dispatches to :func:`numpy.bitwise_count` (numpy >= 2.0, the
-declared dependency floor) and falls back to a byte-table implementation so
-an environment pinned below the floor degrades gracefully instead of
-crashing at call time.
+``popcount`` is :func:`numpy.bitwise_count` — numpy >= 2.0 is the declared
+dependency floor, so there is exactly one popcount path.
 """
 
 from __future__ import annotations
@@ -24,9 +22,6 @@ from typing import Iterable
 import numpy as np
 
 _WORD_BITS = 64
-
-#: Per-byte popcount table backing the fallback implementation.
-_POPCOUNT_TABLE = np.array([bin(value).count("1") for value in range(256)], dtype=np.uint8)
 
 #: BIT_TABLE[b] is the uint64 with only bit ``b`` set (b in 0..63); indexing
 #: this table is cheaper than constructing ``np.uint64(1 << b)`` per lookup.
@@ -38,19 +33,9 @@ def n_words_for_bits(n_bits: int) -> int:
     return max(1, (int(n_bits) + _WORD_BITS - 1) // _WORD_BITS)
 
 
-def _popcount_fallback(words: np.ndarray) -> np.ndarray:
-    """Per-element popcount via a byte table (pre-2.0 numpy)."""
-    contiguous = np.ascontiguousarray(words, dtype=np.uint64)
-    as_bytes = contiguous.view(np.uint8).reshape(contiguous.shape + (8,))
-    return _POPCOUNT_TABLE[as_bytes].sum(axis=-1, dtype=np.uint8)
-
-
-if hasattr(np, "bitwise_count"):
-    def popcount(words: np.ndarray) -> np.ndarray:
-        """Per-element number of set bits of a uint64 array."""
-        return np.bitwise_count(words)
-else:  # pragma: no cover - exercised only on numpy < 2.0
-    popcount = _popcount_fallback
+def popcount(words: np.ndarray) -> np.ndarray:
+    """Per-element number of set bits of a uint64 array."""
+    return np.bitwise_count(words)
 
 
 def pack_bool_rows(matrix: np.ndarray) -> np.ndarray:

@@ -35,6 +35,7 @@ import numpy as np
 from repro.core.bitset import n_words_for_bits
 from repro.core.predicate_space import PredicateSpace, iter_bits
 from repro.core.predicates import Predicate
+from repro.native import dispatch as native_dispatch
 
 _WORD_BITS = 64
 _WORD_MASK = 0xFFFFFFFFFFFFFFFF
@@ -96,20 +97,12 @@ def unique_word_rows(words: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndar
 
     Rows are returned in the canonical lexicographic order of
     :func:`lexsort_word_rows` (not ``np.unique``'s byte order, which would
-    depend on the platform's endianness).
+    depend on the platform's endianness).  Dispatched to the active kernel
+    backend: the compiled backends replace the sort-based ``np.unique``
+    reference with a hash pass over the rows — the dominant cost of every
+    evidence builder's per-tile dedup.
     """
-    contiguous = np.ascontiguousarray(words)
-    if contiguous.shape[0] == 0:
-        return contiguous, np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64)
-    void_view = contiguous.view([("", contiguous.dtype)] * contiguous.shape[1]).ravel()
-    _, first_index, inverse, counts = np.unique(
-        void_view, return_index=True, return_inverse=True, return_counts=True
-    )
-    rows = contiguous[first_index]
-    order = lexsort_word_rows(rows)
-    rank = np.empty(len(rows), dtype=np.int64)
-    rank[order] = np.arange(len(rows), dtype=np.int64)
-    return rows[order], rank[inverse.ravel()], counts[order]
+    return native_dispatch.get_backend().kernels.unique_rows(words)
 
 
 class LazyMaskView(Sequence[int]):

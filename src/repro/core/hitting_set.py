@@ -24,7 +24,6 @@ exact output order against :class:`repro.core.legacy_enum.LegacyMMCS`).
 
 from __future__ import annotations
 
-import sys
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Sequence
 
@@ -52,6 +51,24 @@ class MMCSStatistics:
     outputs: int = 0
     pruned_by_criticality: int = 0
     extra: dict[str, int] = field(default_factory=dict)
+
+
+class _MMCSFrame:
+    """One node of the explicit MMCS search stack."""
+
+    __slots__ = (
+        "uncov_bits", "cand_words", "to_try", "cand_loop",
+        "position", "removed", "returning",
+    )
+
+    def __init__(self, uncov_bits: np.ndarray, cand_words: np.ndarray) -> None:
+        self.uncov_bits = uncov_bits
+        self.cand_words = cand_words
+        self.to_try: list[int] | None = None
+        self.cand_loop: np.ndarray | None = None
+        self.position = 0
+        self.removed: np.ndarray | None = None
+        self.returning = False
 
 
 class MMCS:
@@ -89,7 +106,6 @@ class MMCS:
         if any(subset == 0 for subset in self.subsets):
             # An empty subset can never be hit; there are no hitting sets.
             return
-        sys.setrecursionlimit(max(sys.getrecursionlimit(), 10_000))
         # subset_words[s] is subset s packed over element bits;
         # element_covers[e] is the transposed membership packed over subset
         # bits (which subsets does element e hit) — the plane UpdateCritUncov
@@ -106,7 +122,7 @@ class MMCS:
         )
 
     # ------------------------------------------------------------------
-    # Recursion
+    # Search (explicit stack)
     # ------------------------------------------------------------------
     def _search(
         self,
@@ -117,32 +133,61 @@ class MMCS:
         element_covers: np.ndarray,
         crit: CriticalityPlanes,
     ) -> Iterator[int]:
-        self.statistics.recursive_calls += 1
-        if not uncov_bits.any():
-            self.statistics.outputs += 1
-            mask = 0
-            for element in elements:
-                mask |= 1 << element
-            yield mask
-            return
-        chosen = self._choose_subset(uncov_bits, cand_words, subset_words)
-        chosen_words = subset_words[chosen]
-        to_try = chosen_words & cand_words
-        cand_loop = cand_words & ~chosen_words
-        for element in word_bits_list(to_try):
-            covers = element_covers[element]
-            viable, removed = crit.apply(uncov_bits & covers, covers)
-            if viable:
-                elements.append(element)
-                yield from self._search(
-                    elements, uncov_bits & ~covers, cand_loop,
-                    subset_words, element_covers, crit,
+        """Depth-first search over (element, skip) decisions.
+
+        The tree is walked with an explicit frame stack rather than Python
+        recursion, so the search depth is bounded by memory, not by the
+        interpreter recursion limit (hitting-set chains routinely exceed the
+        default limit on long thin inputs).  The visit order, statistics and
+        criticality bookkeeping are exactly those of the recursive original:
+        a frame's hit loop applies the criticality planes before descending
+        and undoes them when the subtree returns.
+        """
+        statistics = self.statistics
+        frames: list[_MMCSFrame] = [_MMCSFrame(uncov_bits, cand_words)]
+        while frames:
+            frame = frames[-1]
+            if frame.to_try is None:
+                # First visit: the recursive function's prologue.
+                statistics.recursive_calls += 1
+                if not frame.uncov_bits.any():
+                    statistics.outputs += 1
+                    mask = 0
+                    for element in elements:
+                        mask |= 1 << element
+                    yield mask
+                    frames.pop()
+                    continue
+                chosen = self._choose_subset(
+                    frame.uncov_bits, frame.cand_words, subset_words
                 )
+                chosen_words = subset_words[chosen]
+                frame.to_try = word_bits_list(chosen_words & frame.cand_words)
+                frame.cand_loop = frame.cand_words & ~chosen_words
+            elif frame.returning:
+                # A descended child just finished: the loop's epilogue.
+                frame.returning = False
                 elements.pop()
-                set_bit(cand_loop, element)
+                set_bit(frame.cand_loop, frame.to_try[frame.position])
+                crit.undo(frame.removed)
+                frame.position += 1
+            while frame.position < len(frame.to_try):
+                element = frame.to_try[frame.position]
+                covers = element_covers[element]
+                viable, removed = crit.apply(frame.uncov_bits & covers, covers)
+                if viable:
+                    frame.removed = removed
+                    frame.returning = True
+                    elements.append(element)
+                    frames.append(
+                        _MMCSFrame(frame.uncov_bits & ~covers, frame.cand_loop)
+                    )
+                    break
+                statistics.pruned_by_criticality += 1
+                crit.undo(removed)
+                frame.position += 1
             else:
-                self.statistics.pruned_by_criticality += 1
-            crit.undo(removed)
+                frames.pop()
 
     def _choose_subset(
         self,

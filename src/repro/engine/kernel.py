@@ -28,6 +28,7 @@ from repro.core.operators import (
     OrderCategory,
 )
 from repro.core.predicates import PredicateForm
+from repro.native import dispatch as native_dispatch
 
 if TYPE_CHECKING:
     from repro.core.predicate_space import PredicateSpace
@@ -191,6 +192,11 @@ class TileKernel:
         histogram needed by the f2/f3 approximation functions.
     """
 
+    #: Group-class → kernel category-rule code of the fused native tile
+    #: pass (see ``tile_plane`` in :mod:`repro.native`).  Unknown
+    #: :class:`PreparedGroup` subclasses force the per-group numpy loop.
+    _NATIVE_KINDS = {SingleTupleGroup: 0, NumericPairGroup: 1, StringPairGroup: 2}
+
     def __init__(
         self,
         groups: list[PreparedGroup],
@@ -203,6 +209,40 @@ class TileKernel:
         self.n_predicates = int(n_predicates)
         self.n_words = n_words_for(n_predicates)
         self.include_participation = bool(include_participation)
+        self._packed = self._pack_groups()
+
+    def _pack_groups(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray] | None:
+        """Flatten the groups for the one-call tile kernel.
+
+        Returns ``(kinds, a, b, lookup)`` — per-group category-rule codes,
+        the two ``(G, n_rows)`` float64 comparison planes and the contiguous
+        ``(G, 3, n_words)`` category→words lookup — or ``None`` when any
+        group is not one of the three standard classes (the per-group
+        fallback then evaluates custom ``tile_categories`` overrides).
+        """
+        kinds = []
+        for group in self.groups:
+            kind = self._NATIVE_KINDS.get(type(group))
+            if kind is None:
+                return None
+            kinds.append(kind)
+        n_groups = len(self.groups)
+        a = np.zeros((n_groups, self.n_rows), dtype=np.float64)
+        b = np.zeros((n_groups, self.n_rows), dtype=np.float64)
+        lookup = np.zeros((n_groups, 3, self.n_words), dtype=np.uint64)
+        for g, (group, kind) in enumerate(zip(self.groups, kinds)):
+            lookup[g] = group.lookup
+            if kind == 0:
+                a[g] = group.per_row
+            elif kind == 1:
+                a[g] = group.left
+                b[g] = group.right
+            else:
+                # Factorization codes are small ints; float64 holds them
+                # exactly, so equality of codes == equality of doubles.
+                a[g] = group.left_codes
+                b[g] = group.right_codes
+        return np.asarray(kinds, dtype=np.int32), a, b, lookup
 
     @classmethod
     def from_relation(
@@ -230,12 +270,17 @@ class TileKernel:
         evidence, something the deduplicated evidence set no longer knows.
         """
         i0, i1, j0, j1 = tile.i0, tile.i1, tile.j0, tile.j1
-        plane = np.zeros((i1 - i0, j1 - j0, self.n_words), dtype=np.uint64)
-        for group in self.groups:
-            categories = group.tile_categories(i0, i1, j0, j1)
-            plane |= group.lookup[categories]
-
-        flat = plane.reshape(-1, self.n_words)
+        if self._packed is not None:
+            kinds, a, b, lookup = self._packed
+            flat = native_dispatch.get_backend().kernels.tile_plane(
+                kinds, a, b, lookup, i0, i1, j0, j1, self.n_words
+            )
+        else:
+            plane = np.zeros((i1 - i0, j1 - j0, self.n_words), dtype=np.uint64)
+            for group in self.groups:
+                categories = group.tile_categories(i0, i1, j0, j1)
+                plane |= group.lookup[categories]
+            flat = plane.reshape(-1, self.n_words)
         left_ids = np.repeat(np.arange(i0, i1, dtype=np.int64), j1 - j0)
         right_ids = np.tile(np.arange(j0, j1, dtype=np.int64), i1 - i0)
         keep = left_ids != right_ids

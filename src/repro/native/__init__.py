@@ -1,0 +1,51 @@
+"""Native-speed kernel layer.
+
+Compiled implementations of the enumeration and evidence-build hot paths —
+popcount/intersection kernels, the criticality planes, the per-tile
+predicate pass, and the explicit-stack search arena — behind a
+feature-detected dispatch (:mod:`repro.native.dispatch`).  The pure-numpy
+reference (:mod:`repro.native.numpy_backend`) defines the semantics; a
+compiled backend is only used after reproducing it bit for bit on a probe.
+
+Backend selection is controlled by ``REPRO_NATIVE``: ``0`` forces numpy,
+``1`` requires a compiled backend, ``cext``/``numba`` pick one explicitly,
+unset auto-detects (C extension, then numba, then numpy).
+"""
+
+from repro.native.dispatch import (
+    Backend,
+    NUMPY_BACKEND,
+    get_backend,
+    resolve_backend,
+    set_backend,
+    use_backend,
+)
+from repro.native.numpy_backend import (
+    DESCENDED,
+    PRUNED,
+    REPLAYED,
+    SELECT_MAX,
+    SELECT_MIN,
+    SELECT_RANDOM,
+    NumpyKernels,
+    NumpySearchWorkspace,
+    selection_code,
+)
+
+__all__ = [
+    "Backend",
+    "NUMPY_BACKEND",
+    "get_backend",
+    "resolve_backend",
+    "set_backend",
+    "use_backend",
+    "DESCENDED",
+    "PRUNED",
+    "REPLAYED",
+    "SELECT_MAX",
+    "SELECT_MIN",
+    "SELECT_RANDOM",
+    "NumpyKernels",
+    "NumpySearchWorkspace",
+    "selection_code",
+]

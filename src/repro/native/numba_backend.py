@@ -1,0 +1,215 @@
+"""Optional numba backend for the flat kernels.
+
+Importing this module raises :class:`ImportError` when numba is not
+installed; the dispatch layer treats that as "backend unavailable" (and
+turns it into a clean :class:`RuntimeError` when ``REPRO_NATIVE=numba``
+demanded it).  The jitted functions mirror the C contracts exactly and are
+compiled lazily on first call with ``cache=True`` so warm processes skip
+recompilation.
+
+The explicit-stack search workspace stays on the shared arena
+implementation (:class:`~repro.native.numpy_backend.NumpySearchWorkspace`);
+only the flat kernels are jitted here.  Auto-detection therefore prefers
+the C extension — which accelerates the search arena as well — and reaches
+for numba only when no C compiler is available.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numba import njit  # noqa: F401  (ImportError here = backend unavailable)
+
+NAME = "numba"
+
+
+@njit(cache=True)
+def _popcount_word(word):
+    count = 0
+    while word:
+        word &= word - np.uint64(1)
+        count += 1
+    return count
+
+
+@njit(cache=True)
+def _popcount(words, out):
+    for i in range(words.size):
+        out[i] = _popcount_word(words[i])
+
+
+@njit(cache=True)
+def _intersection_counts(ev, mask, out):
+    n_words, n_cols = ev.shape
+    for e in range(n_cols):
+        out[e] = 0
+    for w in range(n_words):
+        m = mask[w]
+        if m == np.uint64(0):
+            continue
+        for e in range(n_cols):
+            out[e] += _popcount_word(ev[w, e] & m)
+
+
+@njit(cache=True)
+def _crit_apply(rows, depth, new_row, covers, removed):
+    viable = True
+    n_words = rows.shape[1]
+    for d in range(depth):
+        any_left = np.uint64(0)
+        for w in range(n_words):
+            r = rows[d, w] & covers[w]
+            removed[d, w] = r
+            rows[d, w] ^= r
+            any_left |= rows[d, w]
+        if any_left == np.uint64(0):
+            viable = False
+    rows[depth] = new_row
+    return viable
+
+
+@njit(cache=True)
+def _crit_undo(rows, depth, removed):
+    n_words = rows.shape[1]
+    for d in range(depth):
+        for w in range(n_words):
+            rows[d, w] |= removed[d, w]
+
+
+@njit(cache=True)
+def _tile_plane(kinds, a, b, lookup, i0, i1, j0, j1, out):
+    n_words = lookup.shape[2]
+    width = j1 - j0
+    for i in range(i0, i1):
+        row_base = (i - i0) * width
+        for g in range(kinds.size):
+            kind = kinds[g]
+            if kind == 0:
+                cat = np.int64(a[g, i])
+                for j in range(j0, j1):
+                    p = row_base + (j - j0)
+                    for w in range(n_words):
+                        out[p, w] |= lookup[g, cat, w]
+            elif kind == 1:
+                left = a[g, i]
+                for j in range(j0, j1):
+                    d = left - b[g, j]
+                    cat = 0 if d < 0.0 else (1 if d == 0.0 else 2)
+                    p = row_base + (j - j0)
+                    for w in range(n_words):
+                        out[p, w] |= lookup[g, cat, w]
+            else:
+                left = a[g, i]
+                for j in range(j0, j1):
+                    cat = 1 if left == b[g, j] else 0
+                    p = row_base + (j - j0)
+                    for w in range(n_words):
+                        out[p, w] |= lookup[g, cat, w]
+
+
+@njit(cache=True)
+def _unique_rows(words, table, uniq, inverse, counts):
+    n, w = words.shape
+    mask = np.uint64(table.size - 1)
+    n_unique = 0
+    for r in range(n):
+        h = np.uint64(1469598103934665603)
+        for k in range(w):
+            h = (h ^ words[r, k]) * np.uint64(1099511628211)
+        slot = np.int64(h & mask)
+        while True:
+            u = table[slot]
+            if u < 0:
+                table[slot] = n_unique
+                for k in range(w):
+                    uniq[n_unique, k] = words[r, k]
+                counts[n_unique] = 1
+                inverse[r] = n_unique
+                n_unique += 1
+                break
+            match = True
+            for k in range(w):
+                if uniq[u, k] != words[r, k]:
+                    match = False
+                    break
+            if match:
+                counts[u] += 1
+                inverse[r] = u
+                break
+            slot = (slot + 1) & np.int64(mask)
+    return n_unique
+
+
+class NumbaKernels:
+    """Flat kernels jitted with numba, numpy-compatible signatures."""
+
+    name = NAME
+
+    @staticmethod
+    def popcount(words: np.ndarray) -> np.ndarray:
+        flat = np.ascontiguousarray(words, dtype=np.uint64).ravel()
+        out = np.empty(flat.size, dtype=np.uint8)
+        _popcount(flat, out)
+        return out.reshape(np.shape(words))
+
+    @staticmethod
+    def intersection_counts(ev_planes: np.ndarray, mask_words: np.ndarray) -> np.ndarray:
+        ev = np.ascontiguousarray(ev_planes, dtype=np.uint64)
+        out = np.empty(ev.shape[1], dtype=np.uint32)
+        _intersection_counts(ev, np.ascontiguousarray(mask_words, dtype=np.uint64), out)
+        return out
+
+    @staticmethod
+    def crit_apply(
+        rows: np.ndarray, depth: int, new_row: np.ndarray, covers: np.ndarray
+    ) -> tuple[bool, np.ndarray]:
+        removed = np.zeros((depth, rows.shape[1]), dtype=np.uint64)
+        viable = _crit_apply(
+            rows, depth,
+            np.ascontiguousarray(new_row, dtype=np.uint64),
+            np.ascontiguousarray(covers, dtype=np.uint64),
+            removed,
+        )
+        return bool(viable), removed
+
+    @staticmethod
+    def crit_undo(rows: np.ndarray, depth: int, removed: np.ndarray) -> None:
+        _crit_undo(rows, depth, removed)
+
+    @staticmethod
+    def tile_plane(
+        kinds: np.ndarray,
+        a: np.ndarray,
+        b: np.ndarray,
+        lookup: np.ndarray,
+        i0: int,
+        i1: int,
+        j0: int,
+        j1: int,
+        n_words: int,
+    ) -> np.ndarray:
+        out = np.zeros(((i1 - i0) * (j1 - j0), n_words), dtype=np.uint64)
+        _tile_plane(kinds, a, b, lookup, i0, i1, j0, j1, out)
+        return out
+
+    @staticmethod
+    def unique_rows(words: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        flat = np.ascontiguousarray(words, dtype=np.uint64)
+        n, n_words = flat.shape
+        if n == 0:
+            return flat, np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64)
+        table_size = 1
+        while table_size < 2 * n:
+            table_size <<= 1
+        table = np.full(table_size, -1, dtype=np.int64)
+        uniq = np.empty((n, n_words), dtype=np.uint64)
+        inverse = np.empty(n, dtype=np.int64)
+        counts = np.zeros(n, dtype=np.int64)
+        n_unique = int(_unique_rows(flat, table, uniq, inverse, counts))
+        uniq = uniq[:n_unique]
+        counts = counts[:n_unique]
+        # First-seen hash order -> canonical lexicographic order.
+        keys = tuple(uniq[:, word] for word in range(n_words - 1, -1, -1))
+        order = np.lexsort(keys)
+        rank = np.empty(n_unique, dtype=np.int64)
+        rank[order] = np.arange(n_unique, dtype=np.int64)
+        return np.ascontiguousarray(uniq[order]), rank[inverse], counts[order]

@@ -9,7 +9,6 @@ from hypothesis import given, settings, strategies as st
 from repro.core.bitset import (
     BIT_TABLE,
     CriticalityPlanes,
-    _popcount_fallback,
     bits_to_indices,
     full_bits,
     indices_to_bits,
@@ -91,8 +90,6 @@ class TestPrimitives:
         words = rng.integers(0, 2 ** 63, size=(4, 3)).astype(np.uint64)
         expected = np.vectorize(lambda w: bin(int(w)).count("1"))(words)
         assert np.array_equal(popcount(words).astype(np.int64), expected)
-        # The guarded numpy<2.0 fallback must agree with the native path.
-        assert np.array_equal(_popcount_fallback(words).astype(np.int64), expected)
 
     def test_word_bits_list_empty(self):
         assert word_bits_list(np.zeros(2, dtype=np.uint64)) == []
