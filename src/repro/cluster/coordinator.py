@@ -116,6 +116,12 @@ class ClusterCoordinator:
         self._inbox: "queue.Queue[tuple[int, object]]" = queue.Queue()
         self._next_worker_id = itertools.count()
         self._submission_counter = itertools.count()
+        # Submissions are serialized: the scheduling loop assumes it is the
+        # only consumer of the inbox and the only writer of worker.task, so
+        # concurrent submit() calls — e.g. the serving layer folding delta
+        # tiles for two tenants from different executor threads — queue
+        # here instead of interleaving.
+        self._submit_lock = threading.Lock()
         self._listener: socket.socket | None = None
         self._threads: list[threading.Thread] = []
 
@@ -304,11 +310,23 @@ class ClusterCoordinator:
         when every worker dies before the work completes, or when a task
         fails with a worker-side exception (an ``error`` frame — those are
         not retried: the task would fail identically everywhere).
+
+        Thread-safe: concurrent calls from different threads run one at a
+        time (whole submissions, in lock-acquisition order).
         """
         if not tasks:
             return []
         if weights is not None and len(weights) != len(tasks):
             raise ValueError("weights must align with tasks")
+        with self._submit_lock:
+            return self._submit_locked(context, tasks, weights)
+
+    def _submit_locked(
+        self,
+        context: object,
+        tasks: list[object],
+        weights: list[int] | None,
+    ) -> list[object]:
         if self.n_alive == 0:
             raise ClusterError("no alive workers registered")
         submission = next(self._submission_counter)

@@ -162,6 +162,32 @@ class PartialEvidenceSet:
         self.n_rows = int(new_n_rows)
         return self
 
+    def word_histogram(self) -> tuple[np.ndarray, np.ndarray]:
+        """Distinct evidence words and their summed multiplicities, unfinalized.
+
+        Returns ``(words, totals)``: the ``(n_distinct, n_words)`` uint64
+        rows in *intern* order (not the canonical lexicographic order —
+        callers aggregating over rows must not depend on row positions) and
+        the per-row total pair multiplicity across all absorbed chunks.
+
+        This is the maintenance hook of the push-based violation counters
+        (:class:`repro.serve.counters.ViolationCounters`): summing pair
+        multiplicities over the rows a DC's hitting set misses gives the
+        exact violating-pair count of :meth:`finalize` +
+        :meth:`~repro.core.evidence.EvidenceSet.uncovered_pair_count`
+        without paying the lexsort or the participation merge — duplicate
+        grouping cannot change a sum.
+        """
+        words = (
+            np.vstack(self._rows)
+            if self._rows
+            else np.zeros((0, self.n_words), dtype=np.uint64)
+        )
+        totals = np.zeros(len(self._ids), dtype=np.int64)
+        for ids, chunk_counts in zip(self._id_chunks, self._count_chunks):
+            np.add.at(totals, ids, chunk_counts)
+        return words, totals
+
     def copy(self) -> "PartialEvidenceSet":
         """Independent copy (chunk arrays are shared, never mutated)."""
         duplicate = PartialEvidenceSet(self.n_rows, self.n_words, self.include_participation)

@@ -28,7 +28,7 @@ arrive and counts drift.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Iterable, Iterator, Mapping, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
 
@@ -96,6 +96,14 @@ class ViolationService:
     epsilon:
         Violation-rate threshold used by :meth:`check_batch` and
         :meth:`exceeded`.
+    base_counts_provider:
+        Optional callable returning the per-DC violating-pair counts of the
+        store's *current* state (one entry per served constraint, in
+        constraint order).  When set, :meth:`check_batch` reads its base
+        counts from it instead of finalizing the store's evidence — this is
+        how the serving layer substitutes its push-maintained counters
+        (:class:`repro.serve.counters.ViolationCounters`) for the
+        finalize-on-read path.
     """
 
     def __init__(
@@ -103,9 +111,11 @@ class ViolationService:
         store: "EvidenceStore",
         constraints: Sequence[DenialConstraint | DiscoveredADC],
         epsilon: float = 0.01,
+        base_counts_provider: "Callable[[], Sequence[int]] | None" = None,
     ) -> None:
         self._store = store
         self.epsilon = float(epsilon)
+        self.base_counts_provider = base_counts_provider
         self.constraints: list[DenialConstraint] = []
         self._hitting_words: list[np.ndarray] = []
         # Per-DC base violation counts, keyed on the store generation that
@@ -124,6 +134,16 @@ class ViolationService:
 
     def __len__(self) -> int:
         return len(self.constraints)
+
+    @property
+    def hitting_words(self) -> list[np.ndarray]:
+        """Per-DC hitting-set word vectors, in constraint order.
+
+        The packed complement-predicate masks every violation query
+        intersects evidence words against; shared with the serving layer's
+        push-based counters so both count against identical bit patterns.
+        """
+        return list(self._hitting_words)
 
     # ------------------------------------------------------------------
     # Constraint resolution
@@ -226,8 +246,18 @@ class ViolationService:
         The counts only change when the store absorbs an append, so an
         admission loop calling :meth:`check_batch` row by row pays the
         full-evidence uncovered scan once per store generation, not once
-        per call.
+        per call.  With a ``base_counts_provider`` installed the scan is
+        skipped entirely — the provider's push-maintained counts are
+        authoritative and already current.
         """
+        if self.base_counts_provider is not None:
+            counts = np.asarray(self.base_counts_provider(), dtype=np.int64)
+            if len(counts) != len(self.constraints):
+                raise ValueError(
+                    f"base_counts_provider returned {len(counts)} counts "
+                    f"for {len(self.constraints)} served constraints"
+                )
+            return counts
         generation = self._store.generation
         if self._base_counts_cache is None or self._base_counts_cache[0] != generation:
             counts = np.array(

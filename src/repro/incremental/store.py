@@ -20,7 +20,7 @@ would change the bit layout under the stored words.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Mapping, Sequence
 
 from repro.core.approximation import get_approximation_function
 from repro.core.evidence import EvidenceSet
@@ -38,6 +38,12 @@ if TYPE_CHECKING:
     from repro.core.approximation import ApproximationFunction
     from repro.core.predicate_space import PredicateSpace
     from repro.data.relation import Relation
+    from repro.engine.partial import PartialEvidenceSet
+
+#: Signature of an append listener: ``(delta_partial, n_before, n_after)``.
+#: The delta partial is already keyed on the grown relation (its ``n_rows``
+#: equals ``n_after``).
+AppendListener = Callable[["PartialEvidenceSet", int, int], None]
 
 
 class EvidenceStore:
@@ -97,6 +103,7 @@ class EvidenceStore:
         self._partial = self._builder.full_partial(self._relation)
         self._evidence: EvidenceSet | None = None
         self._generation = 0
+        self._append_listeners: list[AppendListener] = []
         self.last_enumeration_statistics: "EnumerationStatistics | None" = None
 
     # ------------------------------------------------------------------
@@ -131,6 +138,40 @@ class EvidenceStore:
     def recorded_pairs(self) -> int:
         """Ordered pairs covered by the stored partial."""
         return self._partial.recorded_pairs
+
+    @property
+    def partial(self) -> "PartialEvidenceSet":
+        """The unfinalized partial accumulated so far (treat as read-only).
+
+        Exposed so derived read structures — the serving layer's push-based
+        violation counters — can seed themselves from the store's state
+        without forcing a finalize.
+        """
+        return self._partial
+
+    def add_append_listener(self, listener: AppendListener) -> None:
+        """Call ``listener(delta, n_before, n_after)`` after every commit.
+
+        Listeners run synchronously inside :meth:`append`, after the grown
+        relation and merged partial are swapped in — the delta they receive
+        is exactly what was merged, so incrementally-maintained structures
+        (push-based violation counters, snapshot caches) can update from
+        the delta alone and never drift from the store.  They only fire for
+        *committed* appends: a failed append never reaches them.
+        """
+        self._append_listeners.append(listener)
+
+    def remove_append_listener(self, listener: AppendListener) -> None:
+        """Unregister a listener (no-op when it is not registered).
+
+        Replaced read structures — e.g. counters superseded by a new
+        constraint set — must detach, or the store keeps updating them
+        forever.
+        """
+        try:
+            self._append_listeners.remove(listener)
+        except ValueError:
+            pass
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -167,6 +208,8 @@ class EvidenceStore:
         self._partial.merge(delta)
         self._evidence = None
         self._generation += 1
+        for listener in self._append_listeners:
+            listener(delta, n_before, staged.n_rows)
         return n_new
 
     def clone(self) -> "EvidenceStore":
@@ -184,6 +227,9 @@ class EvidenceStore:
         duplicate.__dict__.update(self.__dict__)
         duplicate._relation = self._relation.copy()
         duplicate._partial = self._partial.copy()
+        # Listeners watch *this* store's commits; the clone starts clean so
+        # its appends cannot feed counters maintained for the original.
+        duplicate._append_listeners = []
         duplicate.last_enumeration_statistics = None
         return duplicate
 

@@ -1,0 +1,85 @@
+"""CLI entry point: ``python -m repro.serve --listen host:port``.
+
+Boots a :class:`~repro.serve.server.ViolationServer`, prints the bound
+address (one line on stdout, so wrappers can wait for readiness and parse
+the OS-assigned port when ``:0`` is requested), and serves until SIGTERM
+or SIGINT triggers the graceful drain: pending append flushes commit,
+in-flight requests answer, connections close, then the process exits 0.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import signal
+import sys
+
+from repro.cluster.transport import parse_address
+from repro.serve.server import ViolationServer
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Serve DC violation queries over evidence stores.",
+    )
+    parser.add_argument(
+        "--listen", default="127.0.0.1:7332", metavar="HOST:PORT",
+        help="listen address (port 0 lets the OS pick; default %(default)s)",
+    )
+    parser.add_argument(
+        "--flush-window", type=float, default=0.0, metavar="SECONDS",
+        help="append-coalescing window per store (default %(default)s)",
+    )
+    parser.add_argument(
+        "--max-pending-rows", type=int, default=100_000,
+        help="append backpressure bound per store (default %(default)s)",
+    )
+    parser.add_argument(
+        "--executor-threads", type=int, default=4,
+        help="worker threads for blocking store work (default %(default)s)",
+    )
+    parser.add_argument(
+        "--store-workers", type=int, default=1,
+        help="process-pool width of each store's tile folds (default %(default)s)",
+    )
+    parser.add_argument(
+        "--max-frame-mb", type=int, default=64,
+        help="per-frame size bound in MiB (default %(default)s)",
+    )
+    return parser
+
+
+async def _amain(args: argparse.Namespace) -> int:
+    host, port = parse_address(args.listen)
+    server = ViolationServer(
+        host, port,
+        flush_window=args.flush_window,
+        max_pending_rows=args.max_pending_rows,
+        executor_threads=args.executor_threads,
+        store_workers=args.store_workers,
+        max_frame_bytes=args.max_frame_mb * 1024 * 1024,
+    )
+    host, port = await server.start()
+    print(f"repro-serve listening on {host}:{port}", flush=True)
+
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        loop.add_signal_handler(
+            signum, lambda: asyncio.ensure_future(server.stop())
+        )
+    await server.serve_forever()
+    print("repro-serve drained and stopped", flush=True)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return asyncio.run(_amain(args))
+    except KeyboardInterrupt:  # pragma: no cover - direct Ctrl-C race
+        return 130
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,193 @@
+"""Synchronous client of the violation-serving server.
+
+:class:`ServeClient` is the one blocking client everything shares — tests,
+benchmarks, examples, and the CI smoke driver — instead of each
+hand-rolling socket framing.  One instance owns one connection; calls are
+request/response in order (a lock serializes concurrent callers, so an
+instance is thread-safe but not pipelined — open one client per thread for
+throughput).
+
+Typed helpers cover every server op; :meth:`request` is the escape hatch
+for raw frames.  A server-side failure raises
+:class:`~repro.serve.protocol.ServeError` carrying the error code.
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+import threading
+from typing import Iterable, Mapping, Sequence
+
+from repro.serve import protocol
+from repro.serve.protocol import ServeError
+
+Row = Mapping[str, object]
+
+
+class ServeClient:
+    """Blocking JSON-frame client for one server connection.
+
+    Parameters
+    ----------
+    host, port:
+        The server's listen address.
+    timeout:
+        Socket timeout for connect and for every response (seconds;
+        ``None`` blocks forever — remines on big stores can be slow).
+    max_frame_bytes:
+        Refusal bound for response frames (matches the server's).
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float | None = 60.0,
+        max_frame_bytes: int = protocol.MAX_FRAME_BYTES,
+    ) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._sock.settimeout(timeout)
+        try:
+            self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:
+            pass
+        self.max_frame_bytes = int(max_frame_bytes)
+        self._ids = itertools.count(1)
+        self._lock = threading.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def request(self, op: str, **fields: object) -> dict[str, object]:
+        """Send one request and wait for its response.
+
+        Returns the success frame (minus the envelope); raises
+        :class:`ServeError` on an error frame and :class:`ConnectionError`
+        when the link dies.
+        """
+        if self._closed:
+            raise ConnectionError("client is closed")
+        with self._lock:
+            request_id = next(self._ids)
+            self._sock.sendall(
+                protocol.encode_frame({"id": request_id, "op": op, **fields})
+            )
+            response = protocol.read_frame(self._sock, self.max_frame_bytes)
+        if response.get("id") not in (request_id, None):
+            raise protocol.ProtocolError(
+                f"response id {response.get('id')!r} does not match "
+                f"request id {request_id}"
+            )
+        if not response.get("ok"):
+            error = response.get("error") or {}
+            raise ServeError(
+                str(error.get("code", protocol.INTERNAL)),
+                str(error.get("message", "unspecified server error")),
+            )
+        return response
+
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        if not self._closed:
+            self._closed = True
+            try:
+                self._sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Typed ops
+    # ------------------------------------------------------------------
+    def ping(self) -> dict[str, object]:
+        """Server liveness, protocol version, and registered store names."""
+        return self.request("ping")
+
+    def create_store(
+        self,
+        store: str,
+        rows: Iterable[Row],
+        types: Mapping[str, str] | None = None,
+    ) -> dict[str, object]:
+        """Register a tenant store seeded with ``rows``."""
+        fields: dict[str, object] = {"store": store, "rows": list(rows)}
+        if types is not None:
+            fields["types"] = dict(types)
+        return self.request("create_store", **fields)
+
+    def drop_store(self, store: str) -> dict[str, object]:
+        """Drain and remove a tenant store."""
+        return self.request("drop_store", store=store)
+
+    def append(self, store: str, rows: Iterable[Row]) -> dict[str, object]:
+        """Stream a batch of rows into a store (coalesced server-side)."""
+        return self.request("append", store=store, rows=list(rows))
+
+    def remine(
+        self,
+        store: str,
+        epsilon: float,
+        function: str = "f1",
+        max_dc_size: int | None = None,
+        limit: int | None = None,
+    ) -> dict[str, object]:
+        """Mine ADCs on the store's current state and install them."""
+        fields: dict[str, object] = {
+            "store": store, "epsilon": epsilon, "function": function,
+        }
+        if max_dc_size is not None:
+            fields["max_dc_size"] = max_dc_size
+        if limit is not None:
+            fields["limit"] = limit
+        return self.request("remine", **fields)
+
+    def declare(
+        self,
+        store: str,
+        constraints: Sequence[Sequence[Mapping[str, object]]],
+        epsilon: float = 0.01,
+    ) -> dict[str, object]:
+        """Install hand-written DCs (lists of predicate specs)."""
+        return self.request(
+            "declare", store=store,
+            constraints=[list(spec) for spec in constraints],
+            epsilon=epsilon,
+        )
+
+    def violations(
+        self, store: str, dc: int, mode: str = "counters"
+    ) -> dict[str, object]:
+        """One DC's violating-pair count/rate (push counters by default)."""
+        return self.request("violations", store=store, dc=dc, mode=mode)
+
+    def report(self, store: str) -> dict[str, object]:
+        """All served DCs' counts/rates off one consistent counter snapshot."""
+        return self.request("report", store=store)
+
+    def check_batch(self, store: str, rows: Iterable[Row]) -> dict[str, object]:
+        """Per-row epsilon admission verdicts for an incoming batch."""
+        return self.request("check_batch", store=store, rows=list(rows))
+
+    def violating_pairs(
+        self, store: str, dc: int, limit: int = 10_000
+    ) -> dict[str, object]:
+        """The actual violating ``(t, t')`` pairs of one DC (tile replay)."""
+        return self.request("violating_pairs", store=store, dc=dc, limit=limit)
+
+    def tuple_scores(
+        self, store: str, dc: int, ranking: bool = False
+    ) -> dict[str, object]:
+        """Per-tuple violation scores (and optionally the repair ranking)."""
+        return self.request("tuple_scores", store=store, dc=dc, ranking=ranking)
+
+    def stats(self) -> dict[str, object]:
+        """Server-wide and per-store operational statistics."""
+        return self.request("stats")

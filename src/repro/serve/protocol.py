@@ -1,0 +1,151 @@
+"""Wire protocol of the violation-serving server.
+
+One frame is an 8-byte big-endian payload length followed by a UTF-8 JSON
+object — the same framing the cluster transport uses, but with JSON instead
+of pickle: the serving port faces clients that are not this library (and
+must never accept a pickle from them).
+
+Requests carry ``{"id": <int>, "op": <str>, ...op fields}``; responses echo
+the id with either ``{"id": n, "ok": true, ...result fields}`` or
+``{"id": n, "ok": false, "error": {"code": <str>, "message": <str>}}``.
+Ids are per-connection and chosen by the client; the server answers every
+request exactly once, in arrival order, so a pipelining client can match
+responses positionally or by id.
+
+The module is transport-agnostic on purpose: :func:`encode_frame` /
+:func:`decode_payload` do the byte work, and the tiny sync reader
+(:func:`read_frame`) serves the blocking client while the asyncio server
+reads frames with ``StreamReader.readexactly`` directly.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Mapping, Protocol
+
+import numpy as np
+
+#: Frame header: big-endian unsigned payload length.
+HEADER = struct.Struct(">Q")
+
+#: Protocol revision, echoed by ``ping`` so clients can detect skew.
+PROTOCOL_VERSION = 1
+
+#: Default refusal bound for a single frame (requests and responses); a
+#: 64 MiB JSON document is far past any legitimate batch or report.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+
+class ProtocolError(ValueError):
+    """A malformed or oversized frame (the connection is unusable)."""
+
+
+# ----------------------------------------------------------------------
+# Error codes (the ``error.code`` field of a failure response)
+# ----------------------------------------------------------------------
+BAD_REQUEST = "bad_request"          #: missing/invalid fields, bad values
+UNKNOWN_OP = "unknown_op"            #: op name the server does not speak
+UNKNOWN_STORE = "unknown_store"      #: store name not registered
+STORE_EXISTS = "store_exists"        #: create_store of an existing name
+NO_CONSTRAINTS = "no_constraints"    #: violation query before remine/declare
+SHUTTING_DOWN = "shutting_down"      #: request arrived during graceful drain
+INTERNAL = "internal"                #: unexpected server-side failure
+
+
+class ServeError(RuntimeError):
+    """A server-reported request failure, as raised by the client."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.message = message
+
+
+def jsonable(value: object) -> object:
+    """Recursively convert a response value into plain JSON types.
+
+    Results are computed with numpy (``int64`` counts, ``float64`` rates,
+    arrays of scores); ``json`` refuses all of them, so every payload runs
+    through this before encoding.
+    """
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    if isinstance(value, np.ndarray):
+        return [jsonable(item) for item in value.tolist()]
+    if isinstance(value, Mapping):
+        return {str(key): jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonable(item) for item in value]
+    return value
+
+
+def encode_frame(message: Mapping[str, object]) -> bytes:
+    """One wire frame: length header + UTF-8 JSON payload."""
+    payload = json.dumps(jsonable(message), separators=(",", ":")).encode("utf-8")
+    return HEADER.pack(len(payload)) + payload
+
+
+def decode_payload(payload: bytes) -> dict[str, object]:
+    """Parse one frame payload; the top level must be a JSON object."""
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(f"undecodable frame: {error}") from error
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"frame payload must be a JSON object, got {type(message).__name__}"
+        )
+    return message
+
+
+def frame_length(header: bytes, max_frame_bytes: int = MAX_FRAME_BYTES) -> int:
+    """Payload length announced by a header, bounds-checked."""
+    (length,) = HEADER.unpack(header)
+    if length > max_frame_bytes:
+        raise ProtocolError(
+            f"frame of {length} bytes exceeds the {max_frame_bytes}-byte bound"
+        )
+    return length
+
+
+class _SupportsRecv(Protocol):  # pragma: no cover - typing aid
+    def recv(self, n: int, /) -> bytes: ...
+
+
+def read_exact(sock: "_SupportsRecv", n: int) -> bytes:
+    """Read exactly ``n`` bytes from a blocking socket (EOF raises)."""
+    chunks: list[bytes] = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(min(remaining, 65536))
+        if not chunk:
+            raise ConnectionError("peer closed the connection mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame(
+    sock: "_SupportsRecv", max_frame_bytes: int = MAX_FRAME_BYTES
+) -> dict[str, object]:
+    """Read one complete frame from a blocking socket (the sync client)."""
+    header = read_exact(sock, HEADER.size)
+    return decode_payload(read_exact(sock, frame_length(header, max_frame_bytes)))
+
+
+# ----------------------------------------------------------------------
+# Response construction (server side)
+# ----------------------------------------------------------------------
+def ok_response(request_id: object, **fields: object) -> dict[str, object]:
+    """A success frame echoing the request id."""
+    return {"id": request_id, "ok": True, **fields}
+
+
+def error_response(request_id: object, code: str, message: str) -> dict[str, object]:
+    """A failure frame echoing the request id."""
+    return {"id": request_id, "ok": False, "error": {"code": code, "message": message}}

@@ -1,0 +1,211 @@
+"""Coalescing append scheduler.
+
+Delta evidence construction has a fixed per-commit overhead (kernel
+preparation is ``O(n)``, and every commit pays a partial rebase/merge), so
+ten concurrent one-row appends cost far more as ten folds than as one
+ten-row fold.  :class:`AppendScheduler` exploits that: concurrent
+``append`` requests against one store are parked in a pending list, and a
+single flusher task commits *everything pending* as one combined batch —
+one :meth:`EvidenceStore.append`, one delta-tile fold, one counter update,
+one generation bump — then parcels the result back to every waiter.
+
+Semantics:
+
+* Requests in one flush commit atomically and observe the same
+  post-commit generation; requests never commit out of arrival order.
+* A poisoned flush (one request's rows fail type coercion) falls back to
+  committing each request separately, so one bad batch fails alone
+  instead of failing its innocent flush-mates — at the cost of the
+  coalescing win on that flush only.
+* ``max_pending_rows`` bounds the parked rows; excess appenders wait
+  (backpressure propagates to the connection's read loop, which stops
+  reading frames — the network peer slows down instead of the server
+  ballooning).
+
+The scheduler never blocks the event loop: the fold runs in the server's
+executor while the store's async lock is held, which is also what keeps
+commits serialized against the heavyweight read ops.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import Executor
+from typing import TYPE_CHECKING, Mapping, Sequence
+
+if TYPE_CHECKING:
+    from repro.incremental.store import EvidenceStore
+
+Row = Mapping[str, object]
+
+
+class AppendScheduler:
+    """Batch concurrent appends to one store into single delta folds.
+
+    Parameters
+    ----------
+    store:
+        The evidence store commits apply to.
+    lock:
+        The store's async lock (shared with the server's heavyweight read
+        ops); held across every commit.
+    executor:
+        Where the blocking fold runs.
+    flush_window:
+        Seconds a flush waits for more requests to coalesce.  ``0.0``
+        (default) still yields to the event loop once, so requests that
+        are already queued coalesce for free; positive values trade
+        latency for bigger flushes.
+    max_pending_rows:
+        Parked-row bound; appenders past it wait for the next flush.
+    """
+
+    def __init__(
+        self,
+        store: "EvidenceStore",
+        lock: asyncio.Lock,
+        executor: Executor,
+        flush_window: float = 0.0,
+        max_pending_rows: int = 100_000,
+    ) -> None:
+        if flush_window < 0:
+            raise ValueError("flush_window must be >= 0")
+        if max_pending_rows < 1:
+            raise ValueError("max_pending_rows must be positive")
+        self._store = store
+        self._lock = lock
+        self._executor = executor
+        self.flush_window = float(flush_window)
+        self.max_pending_rows = int(max_pending_rows)
+        self._pending: list[tuple[list[Row], asyncio.Future]] = []
+        self._pending_rows = 0
+        self._space: asyncio.Condition = asyncio.Condition()
+        self._flusher: asyncio.Task | None = None
+        self.flushes = 0
+        self.coalesced_requests = 0
+        self.appended_rows = 0
+        self.fallback_flushes = 0
+
+    @property
+    def pending_requests(self) -> int:
+        """Requests parked for the next flush (load signal for ``stats``)."""
+        return len(self._pending)
+
+    # ------------------------------------------------------------------
+    # Request side
+    # ------------------------------------------------------------------
+    async def append(self, rows: Sequence[Row]) -> dict[str, object]:
+        """Park ``rows`` for the next flush; resolves once committed.
+
+        Returns ``{"appended", "n_rows", "generation", "coalesced"}`` for
+        the flush that carried the request.  Raises whatever the store's
+        append raised for *this request's* rows (flush-mates unaffected).
+        """
+        rows = list(rows)
+        if not rows:
+            return {
+                "appended": 0,
+                "n_rows": self._store.n_rows,
+                "generation": self._store.generation,
+                "coalesced": 0,
+            }
+        async with self._space:
+            while self._pending_rows >= self.max_pending_rows:
+                await self._space.wait()
+            future: asyncio.Future = asyncio.get_running_loop().create_future()
+            self._pending.append((rows, future))
+            self._pending_rows += len(rows)
+            if self._flusher is None or self._flusher.done():
+                self._flusher = asyncio.create_task(self._flush_loop())
+        return await future
+
+    async def drain(self) -> None:
+        """Wait until every parked request has committed (shutdown path)."""
+        while True:
+            flusher = self._flusher
+            if flusher is None or flusher.done():
+                async with self._space:
+                    if not self._pending:
+                        return
+                await asyncio.sleep(0)
+                continue
+            await asyncio.shield(flusher)
+
+    # ------------------------------------------------------------------
+    # Flush side
+    # ------------------------------------------------------------------
+    async def _flush_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            # The window lets concurrent requests pile up; even 0 yields
+            # once, so whatever is already scheduled on the loop lands in
+            # this flush instead of the next.
+            await asyncio.sleep(self.flush_window)
+            async with self._space:
+                batch, self._pending = self._pending, []
+                self._pending_rows = 0
+                self._space.notify_all()
+            if batch:
+                async with self._lock:
+                    outcomes = await loop.run_in_executor(
+                        self._executor, self._commit, batch
+                    )
+                for future, outcome in outcomes:
+                    if future.done():
+                        continue  # waiter gave up (connection died)
+                    if isinstance(outcome, BaseException):
+                        future.set_exception(outcome)
+                    else:
+                        future.set_result(outcome)
+            async with self._space:
+                if not self._pending:
+                    self._flusher = None
+                    return
+
+    def _commit(
+        self, batch: list[tuple[list[Row], asyncio.Future]]
+    ) -> list[tuple[asyncio.Future, object]]:
+        """Apply one flush on the executor thread; never raises.
+
+        The combined commit is tried first (one fold for the whole flush);
+        if the store rejects it — one request's rows failed coercion, and
+        the store's atomic append rolled everything back — each request is
+        retried alone so the failure stays with its owner.
+        """
+        store = self._store
+        self.flushes += 1
+        self.coalesced_requests += len(batch)
+        combined: list[Row] = [row for rows, _ in batch for row in rows]
+        try:
+            store.append(combined)
+        except Exception as combined_error:
+            if len(batch) == 1:
+                # The combined batch *is* the lone request; the failure is
+                # its answer (the atomic append left the store untouched).
+                return [(batch[0][1], combined_error)]
+            self.fallback_flushes += 1
+            outcomes: list[tuple[asyncio.Future, object]] = []
+            for rows, future in batch:
+                try:
+                    appended = store.append(rows)
+                except Exception as error:
+                    outcomes.append((future, error))
+                else:
+                    self.appended_rows += appended
+                    outcomes.append((future, {
+                        "appended": appended,
+                        "n_rows": store.n_rows,
+                        "generation": store.generation,
+                        "coalesced": 1,
+                    }))
+            return outcomes
+        self.appended_rows += len(combined)
+        return [
+            (future, {
+                "appended": len(rows),
+                "n_rows": store.n_rows,
+                "generation": store.generation,
+                "coalesced": len(batch),
+            })
+            for rows, future in batch
+        ]

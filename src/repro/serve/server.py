@@ -1,0 +1,746 @@
+"""The asyncio violation-serving server.
+
+:class:`ViolationServer` turns the incremental subsystem's libraries —
+:class:`~repro.incremental.store.EvidenceStore` +
+:class:`~repro.incremental.serve.ViolationService` — into a multi-tenant
+network service: one store per dataset name, a length-prefixed JSON
+protocol (:mod:`repro.serve.protocol`), and two mechanisms that make it a
+server rather than an RPC shim:
+
+* **Coalesced appends** — concurrent ``append`` requests against one store
+  flow through an :class:`~repro.serve.scheduler.AppendScheduler` and
+  commit as one delta-tile fold per flush window.
+* **Push-based counters** — every store with installed constraints carries
+  :class:`~repro.serve.counters.ViolationCounters` maintained from each
+  committed delta, so ``violations``/``report``/``check_batch`` never
+  finalize evidence.  Read latency is independent of how much has been
+  appended since the last finalize.
+
+The heavyweight ops (``violating_pairs``, ``tuple_scores``, ``remine``)
+run on the store's *cached finalized snapshot* — ``EvidenceStore`` already
+caches ``evidence()`` and invalidates it on append — inside a worker
+executor, under a per-store async lock, so the event loop never stalls and
+reads never race a commit.  Each connection gets a bounded request queue
+(backpressure stops the frame reader, slowing the peer instead of growing
+the server), per-request error frames, and :meth:`ViolationServer.stop`
+drains gracefully: pending appends commit, in-flight requests answer, then
+connections close.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Mapping, Sequence
+
+from repro.core.dc import DenialConstraint
+from repro.core.operators import Operator
+from repro.core.predicates import Predicate, PredicateForm
+from repro.data.relation import Relation
+from repro.data.types import ColumnType
+from repro.incremental.serve import ViolationService
+from repro.incremental.store import EvidenceStore
+from repro.serve import protocol
+from repro.serve.counters import ViolationCounters
+from repro.serve.scheduler import AppendScheduler
+
+#: Per-connection pipelining bound: frames parked awaiting dispatch before
+#: the reader stops pulling from the socket.
+DEFAULT_MAX_PIPELINE = 64
+
+
+class _RequestError(Exception):
+    """Internal: a dispatch failure with a protocol error code."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+
+
+class StoreState:
+    """Everything the server holds for one tenant store."""
+
+    def __init__(self, name: str, store: EvidenceStore, scheduler: AppendScheduler,
+                 lock: asyncio.Lock) -> None:
+        self.name = name
+        self.store = store
+        self.scheduler = scheduler
+        self.lock = lock
+        self.service: ViolationService | None = None
+        self.counters: ViolationCounters | None = None
+
+
+def parse_predicate(spec: Mapping[str, object]) -> Predicate:
+    """Build a :class:`Predicate` from its wire form.
+
+    The wire form mirrors the dataclass: ``{"left": "Income", "op": "<=",
+    "right": "Tax", "form": "two_tuple_cross_column"}`` (``form`` defaults
+    to the same-column two-tuple shape when the columns match).
+    """
+    try:
+        left = str(spec["left"])
+        right = str(spec["right"])
+        operator = Operator(str(spec["op"]))
+    except (KeyError, ValueError) as error:
+        raise _RequestError(
+            protocol.BAD_REQUEST, f"bad predicate {spec!r}: {error}"
+        ) from error
+    form_text = spec.get("form")
+    if form_text is None:
+        form = (
+            PredicateForm.TWO_TUPLE_SAME_COLUMN
+            if left == right
+            else PredicateForm.TWO_TUPLE_CROSS_COLUMN
+        )
+    else:
+        try:
+            form = PredicateForm(str(form_text))
+        except ValueError as error:
+            raise _RequestError(
+                protocol.BAD_REQUEST, f"unknown predicate form {form_text!r}"
+            ) from error
+    try:
+        return Predicate(left, operator, right, form)
+    except ValueError as error:
+        raise _RequestError(protocol.BAD_REQUEST, str(error)) from error
+
+
+class ViolationServer:
+    """Multi-tenant async front-end over evidence stores.
+
+    Parameters
+    ----------
+    host, port:
+        Listen address; ``port=0`` lets the OS pick (read
+        :attr:`address` after :meth:`start`).
+    flush_window:
+        Append-coalescing window per store (seconds; see
+        :class:`~repro.serve.scheduler.AppendScheduler`).
+    max_pending_rows:
+        Backpressure bound on parked append rows per store.
+    executor_threads:
+        Worker threads for blocking store work; at least 2 so one tenant's
+        fold cannot starve another's snapshot query.
+    store_workers:
+        ``n_workers`` handed to each tenant's
+        :class:`~repro.incremental.store.EvidenceStore` (process-pool
+        width of its folds).
+    cluster:
+        Optional :class:`~repro.cluster.coordinator.ClusterCoordinator` or
+        :class:`~repro.cluster.local.LocalCluster`; tenant folds then run
+        over the cluster's workers (coordinator submissions are
+        thread-safe, so tenants share it across executor threads).
+    max_frame_bytes:
+        Refusal bound for a single request/response frame.
+    max_pipeline:
+        Per-connection bounded-queue depth.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        flush_window: float = 0.0,
+        max_pending_rows: int = 100_000,
+        executor_threads: int = 4,
+        store_workers: int = 1,
+        cluster: object | None = None,
+        max_frame_bytes: int = protocol.MAX_FRAME_BYTES,
+        max_pipeline: int = DEFAULT_MAX_PIPELINE,
+    ) -> None:
+        self.host = host
+        self.port = int(port)
+        self.flush_window = float(flush_window)
+        self.max_pending_rows = int(max_pending_rows)
+        self.store_workers = int(store_workers)
+        self.cluster = cluster
+        self.max_frame_bytes = int(max_frame_bytes)
+        self.max_pipeline = int(max_pipeline)
+        self._executor = ThreadPoolExecutor(
+            max_workers=max(2, int(executor_threads)),
+            thread_name_prefix="repro-serve",
+        )
+        self._stores: dict[str, StoreState | None] = {}  # None = being created
+        self._server: asyncio.AbstractServer | None = None
+        self._connections: set[asyncio.Task] = set()
+        self._stopping = False
+        self._stopped = asyncio.Event()
+        self._started_at = time.monotonic()
+        self.requests_served = 0
+        self._handlers = {
+            "ping": self._op_ping,
+            "create_store": self._op_create_store,
+            "drop_store": self._op_drop_store,
+            "append": self._op_append,
+            "remine": self._op_remine,
+            "declare": self._op_declare,
+            "violations": self._op_violations,
+            "report": self._op_report,
+            "check_batch": self._op_check_batch,
+            "violating_pairs": self._op_violating_pairs,
+            "tuple_scores": self._op_tuple_scores,
+            "stats": self._op_stats,
+        }
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> tuple[str, int]:
+        """Bind and start accepting; returns the bound ``(host, port)``."""
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.host, self.port = self._server.sockets[0].getsockname()[:2]
+        return self.host, self.port
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound listen address."""
+        return self.host, self.port
+
+    async def serve_forever(self) -> None:
+        """Block until :meth:`stop` completes (the ``__main__`` loop)."""
+        await self._stopped.wait()
+
+    async def stop(self) -> None:
+        """Graceful drain: commit pending appends, answer in-flight, close.
+
+        New requests arriving during the drain are answered with a
+        ``shutting_down`` error frame rather than dropped; pending append
+        flushes commit (nothing acknowledged is ever lost), then every
+        connection closes and the executor shuts down.
+        """
+        if self._stopping:
+            await self._stopped.wait()
+            return
+        self._stopping = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for state in list(self._stores.values()):
+            if state is not None:
+                await state.scheduler.drain()
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+        await asyncio.get_running_loop().run_in_executor(
+            None, self._executor.shutdown
+        )
+        self._stopped.set()
+
+    # ------------------------------------------------------------------
+    # Connection plumbing
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._connections.add(asyncio.current_task())
+        queue: asyncio.Queue = asyncio.Queue(maxsize=self.max_pipeline)
+        worker = asyncio.create_task(self._connection_worker(queue, writer))
+        try:
+            while True:
+                header = await reader.readexactly(protocol.HEADER.size)
+                length = protocol.frame_length(header, self.max_frame_bytes)
+                payload = await reader.readexactly(length)
+                # Bounded queue: a full pipeline parks the reader here, so
+                # the kernel's receive window throttles the peer.
+                await queue.put(protocol.decode_payload(payload))
+        except (asyncio.IncompleteReadError, ConnectionError, OSError):
+            pass  # clean EOF or peer death: just drain and close
+        except protocol.ProtocolError as error:
+            await queue.put(error)  # answer once, then the link closes
+        except asyncio.CancelledError:
+            pass  # server stopping: let queued requests answer first
+        finally:
+            await queue.put(None)
+            try:
+                await asyncio.shield(worker)
+            except asyncio.CancelledError:
+                worker.cancel()
+            self._connections.discard(asyncio.current_task())
+
+    async def _connection_worker(
+        self, queue: asyncio.Queue, writer: asyncio.StreamWriter
+    ) -> None:
+        """Answer one connection's requests in arrival order."""
+        try:
+            while True:
+                message = await queue.get()
+                if message is None:
+                    break
+                if isinstance(message, protocol.ProtocolError):
+                    writer.write(protocol.encode_frame(
+                        protocol.error_response(None, protocol.BAD_REQUEST, str(message))
+                    ))
+                    break
+                response = await self._dispatch(message)
+                writer.write(protocol.encode_frame(response))
+                await writer.drain()
+        except (ConnectionError, OSError):
+            pass  # peer died mid-response
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _dispatch(self, message: dict) -> dict:
+        """Route one request; every failure becomes an error frame."""
+        request_id = message.get("id")
+        op = message.get("op")
+        self.requests_served += 1
+        handler = self._handlers.get(op)
+        if handler is None:
+            return protocol.error_response(
+                request_id, protocol.UNKNOWN_OP,
+                f"unknown op {op!r}; supported: {sorted(self._handlers)}",
+            )
+        if self._stopping and op not in ("ping", "stats"):
+            return protocol.error_response(
+                request_id, protocol.SHUTTING_DOWN, "server is draining"
+            )
+        try:
+            fields = await handler(message)
+        except _RequestError as error:
+            return protocol.error_response(request_id, error.code, str(error))
+        except (KeyError, ValueError, TypeError, IndexError) as error:
+            return protocol.error_response(
+                request_id, protocol.BAD_REQUEST, f"{type(error).__name__}: {error}"
+            )
+        except Exception as error:  # noqa: BLE001 - must answer, not die
+            return protocol.error_response(
+                request_id, protocol.INTERNAL, f"{type(error).__name__}: {error}"
+            )
+        return protocol.ok_response(request_id, **fields)
+
+    # ------------------------------------------------------------------
+    # Request helpers
+    # ------------------------------------------------------------------
+    def _state(self, message: Mapping[str, object]) -> StoreState:
+        name = message.get("store")
+        if not isinstance(name, str) or not name:
+            raise _RequestError(protocol.BAD_REQUEST, "missing 'store' field")
+        state = self._stores.get(name)
+        if state is None:
+            raise _RequestError(protocol.UNKNOWN_STORE, f"no store named {name!r}")
+        return state
+
+    @staticmethod
+    def _service(state: StoreState) -> ViolationService:
+        if state.service is None:
+            raise _RequestError(
+                protocol.NO_CONSTRAINTS,
+                f"store {state.name!r} has no constraints installed; "
+                "run 'remine' or 'declare' first",
+            )
+        return state.service
+
+    @staticmethod
+    def _rows_field(message: Mapping[str, object]) -> list[dict]:
+        rows = message.get("rows")
+        if not isinstance(rows, list) or not all(isinstance(r, dict) for r in rows):
+            raise _RequestError(
+                protocol.BAD_REQUEST, "'rows' must be a list of {column: value} objects"
+            )
+        return rows
+
+    @staticmethod
+    def _dc_index(message: Mapping[str, object], service: ViolationService) -> int:
+        dc = message.get("dc")
+        if not isinstance(dc, int) or isinstance(dc, bool):
+            raise _RequestError(protocol.BAD_REQUEST, "'dc' must be an integer index")
+        if not 0 <= dc < len(service.constraints):
+            raise _RequestError(
+                protocol.BAD_REQUEST,
+                f"dc index {dc} out of range for {len(service.constraints)} constraints",
+            )
+        return dc
+
+    async def _run_locked(self, state: StoreState, fn):
+        """Run blocking store work on the executor under the store's lock."""
+        async with state.lock:
+            return await asyncio.get_running_loop().run_in_executor(
+                self._executor, fn
+            )
+
+    def _install_constraints(
+        self,
+        state: StoreState,
+        constraints: Sequence[object],
+        epsilon: float,
+    ) -> dict[str, object]:
+        """Wire a constraint set to a store: service + fresh push counters.
+
+        Runs on the executor (the counter seed is one pass over the stored
+        partial).  The service reads its admission base counts from the
+        counters, so ``check_batch`` never finalizes either.
+        """
+        if state.counters is not None:
+            state.counters.detach()  # superseded counters must stop updating
+        counters_box: list[ViolationCounters] = []
+        service = ViolationService(
+            state.store,
+            constraints,
+            epsilon=epsilon,
+            base_counts_provider=lambda: counters_box[0].counts(),
+        )
+        counters_box.append(ViolationCounters(service.hitting_words, state.store))
+        state.service = service
+        state.counters = counters_box[0]
+        return {
+            "store": state.name,
+            "constraints": [str(dc) for dc in service.constraints],
+            "epsilon": service.epsilon,
+        }
+
+    # ------------------------------------------------------------------
+    # Ops
+    # ------------------------------------------------------------------
+    async def _op_ping(self, message: Mapping[str, object]) -> dict:
+        return {
+            "server": "repro-serve",
+            "protocol": protocol.PROTOCOL_VERSION,
+            "stores": sorted(k for k, v in self._stores.items() if v is not None),
+            "stopping": self._stopping,
+        }
+
+    async def _op_create_store(self, message: Mapping[str, object]) -> dict:
+        name = message.get("store")
+        if not isinstance(name, str) or not name:
+            raise _RequestError(protocol.BAD_REQUEST, "missing 'store' field")
+        rows = self._rows_field(message)
+        if not rows:
+            raise _RequestError(
+                protocol.BAD_REQUEST, "'rows' must seed at least one row"
+            )
+        types_field = message.get("types") or {}
+        if not isinstance(types_field, dict):
+            raise _RequestError(protocol.BAD_REQUEST, "'types' must be an object")
+        try:
+            types = {
+                column: ColumnType(str(type_name))
+                for column, type_name in types_field.items()
+            }
+        except ValueError as error:
+            raise _RequestError(protocol.BAD_REQUEST, str(error)) from error
+        if name in self._stores:
+            raise _RequestError(
+                protocol.STORE_EXISTS, f"store {name!r} already exists"
+            )
+        # Reserve the name before the (slow) executor build so a racing
+        # duplicate create fails instead of building twice.
+        self._stores[name] = None
+
+        def build() -> StoreState:
+            relation = Relation.from_records(name, rows, types or None)
+            store = EvidenceStore(
+                relation, n_workers=self.store_workers, cluster=self.cluster
+            )
+            lock = asyncio.Lock()
+            scheduler = AppendScheduler(
+                store, lock, self._executor,
+                flush_window=self.flush_window,
+                max_pending_rows=self.max_pending_rows,
+            )
+            return StoreState(name, store, scheduler, lock)
+
+        try:
+            state = await asyncio.get_running_loop().run_in_executor(
+                self._executor, build
+            )
+        except Exception:
+            del self._stores[name]
+            raise
+        self._stores[name] = state
+        return {
+            "store": name,
+            "n_rows": state.store.n_rows,
+            "n_predicates": len(state.store.space),
+            "columns": state.store.relation.column_names,
+        }
+
+    async def _op_drop_store(self, message: Mapping[str, object]) -> dict:
+        state = self._state(message)
+        await state.scheduler.drain()
+        del self._stores[state.name]
+        return {"store": state.name, "dropped": True}
+
+    async def _op_append(self, message: Mapping[str, object]) -> dict:
+        state = self._state(message)
+        rows = self._rows_field(message)
+        result = await state.scheduler.append(rows)
+        return {"store": state.name, **result}
+
+    async def _op_remine(self, message: Mapping[str, object]) -> dict:
+        state = self._state(message)
+        epsilon = float(message.get("epsilon", 0.01))
+        function = str(message.get("function", "f1"))
+        max_dc_size = message.get("max_dc_size")
+        limit = message.get("limit")
+
+        def mine() -> dict[str, object]:
+            adcs = state.store.remine(
+                epsilon, function,
+                max_dc_size=None if max_dc_size is None else int(max_dc_size),
+            )
+            if limit is not None:
+                adcs = adcs[: int(limit)]
+            return {**self._install_constraints(state, adcs, epsilon),
+                    "mined": len(adcs)}
+
+        return await self._run_locked(state, mine)
+
+    async def _op_declare(self, message: Mapping[str, object]) -> dict:
+        """Install hand-written DCs (each a list of predicate specs)."""
+        state = self._state(message)
+        epsilon = float(message.get("epsilon", 0.01))
+        specs = message.get("constraints")
+        if not isinstance(specs, list) or not specs:
+            raise _RequestError(
+                protocol.BAD_REQUEST,
+                "'constraints' must be a non-empty list of predicate-spec lists",
+            )
+        constraints: list[DenialConstraint] = []
+        for spec in specs:
+            if not isinstance(spec, list) or not spec:
+                raise _RequestError(
+                    protocol.BAD_REQUEST,
+                    "each constraint must be a non-empty list of predicate specs",
+                )
+            constraints.append(DenialConstraint(parse_predicate(p) for p in spec))
+        space = state.store.space
+        for constraint in constraints:
+            for predicate in constraint.predicates:
+                if predicate not in space:
+                    raise _RequestError(
+                        protocol.BAD_REQUEST,
+                        f"predicate {predicate} is outside the store's "
+                        f"predicate space",
+                    )
+
+        def install() -> dict[str, object]:
+            return self._install_constraints(state, constraints, epsilon)
+
+        return await self._run_locked(state, install)
+
+    def _counter_report(self, state: StoreState, index: int) -> dict[str, object]:
+        snapshot = state.counters.snapshot()
+        return {
+            "dc": index,
+            "constraint": str(state.service.constraints[index]),
+            "count": snapshot.counts[index],
+            "total_pairs": snapshot.total_pairs,
+            "rate": snapshot.rate(index),
+            "n_rows": snapshot.n_rows,
+        }
+
+    async def _op_violations(self, message: Mapping[str, object]) -> dict:
+        state = self._state(message)
+        service = self._service(state)
+        index = self._dc_index(message, service)
+        mode = message.get("mode", "counters")
+        if mode == "counters":
+            return {"store": state.name, **self._counter_report(state, index)}
+        if mode == "finalize":
+            # Benchmark baseline, deliberately kept: answer off a fresh
+            # finalize of the store's evidence instead of the counters.
+            def read() -> dict[str, object]:
+                report = service.violations(index)
+                return {
+                    "dc": index,
+                    "constraint": str(report.constraint),
+                    "count": report.count,
+                    "total_pairs": report.total_pairs,
+                    "rate": report.rate,
+                    "n_rows": state.store.n_rows,
+                }
+            return {"store": state.name, **await self._run_locked(state, read)}
+        raise _RequestError(
+            protocol.BAD_REQUEST, f"unknown mode {mode!r} (counters|finalize)"
+        )
+
+    async def _op_report(self, message: Mapping[str, object]) -> dict:
+        state = self._state(message)
+        service = self._service(state)
+        snapshot = state.counters.snapshot()
+        return {
+            "store": state.name,
+            "n_rows": snapshot.n_rows,
+            "total_pairs": snapshot.total_pairs,
+            "report": [
+                {
+                    "dc": index,
+                    "constraint": str(service.constraints[index]),
+                    "count": snapshot.counts[index],
+                    "rate": snapshot.rate(index),
+                    "exceeds_epsilon": snapshot.rate(index) > service.epsilon,
+                }
+                for index in range(len(service.constraints))
+            ],
+        }
+
+    async def _op_check_batch(self, message: Mapping[str, object]) -> dict:
+        state = self._state(message)
+        service = self._service(state)
+        rows = self._rows_field(message)
+
+        def check() -> list[dict[str, object]]:
+            return [
+                {
+                    "row": admission.row_index,
+                    "rates": list(admission.rates),
+                    "worst_rate": admission.worst_rate,
+                    "admissible": admission.admissible,
+                }
+                for admission in service.check_batch(rows)
+            ]
+
+        return {
+            "store": state.name,
+            "epsilon": service.epsilon,
+            "rows": await self._run_locked(state, check),
+        }
+
+    async def _op_violating_pairs(self, message: Mapping[str, object]) -> dict:
+        state = self._state(message)
+        service = self._service(state)
+        index = self._dc_index(message, service)
+        limit = int(message.get("limit", 10_000))
+        if limit < 1:
+            raise _RequestError(protocol.BAD_REQUEST, "'limit' must be positive")
+
+        def replay() -> dict[str, object]:
+            pairs = list(itertools.islice(service.violating_pairs(index), limit + 1))
+            truncated = len(pairs) > limit
+            return {
+                "dc": index,
+                "pairs": [[left, right] for left, right in pairs[:limit]],
+                "truncated": truncated,
+            }
+
+        return {"store": state.name, **await self._run_locked(state, replay)}
+
+    async def _op_tuple_scores(self, message: Mapping[str, object]) -> dict:
+        state = self._state(message)
+        service = self._service(state)
+        index = self._dc_index(message, service)
+        want_ranking = bool(message.get("ranking", False))
+
+        def score() -> dict[str, object]:
+            fields: dict[str, object] = {
+                "dc": index,
+                "scores": service.tuple_scores(index),
+            }
+            if want_ranking:
+                fields["ranking"] = service.repair_ranking(index)
+            return fields
+
+        return {"store": state.name, **await self._run_locked(state, score)}
+
+    async def _op_stats(self, message: Mapping[str, object]) -> dict:
+        stores: dict[str, object] = {}
+        for name, state in self._stores.items():
+            if state is None:
+                stores[name] = {"status": "creating"}
+                continue
+            scheduler = state.scheduler
+            entry: dict[str, object] = {
+                "n_rows": state.store.n_rows,
+                "generation": state.store.generation,
+                "distinct_evidences": len(state.store.partial),
+                "snapshot_cached": state.store._evidence is not None,
+                "constraints": (
+                    len(state.service.constraints) if state.service else 0
+                ),
+                "append": {
+                    "flushes": scheduler.flushes,
+                    "coalesced_requests": scheduler.coalesced_requests,
+                    "appended_rows": scheduler.appended_rows,
+                    "fallback_flushes": scheduler.fallback_flushes,
+                    "pending_requests": scheduler.pending_requests,
+                },
+            }
+            if state.counters is not None:
+                snapshot = state.counters.snapshot()
+                entry["counters"] = {
+                    "counts": list(snapshot.counts),
+                    "n_rows": snapshot.n_rows,
+                    "applied_deltas": state.counters.applied_deltas,
+                }
+            stores[name] = entry
+        return {
+            "uptime_seconds": time.monotonic() - self._started_at,
+            "requests_served": self.requests_served,
+            "connections": len(self._connections),
+            "stores": stores,
+        }
+
+
+class ServerThread:
+    """A :class:`ViolationServer` on a private loop in a daemon thread.
+
+    What tests, benchmarks, and examples use to get a live listening
+    server inside an otherwise synchronous program::
+
+        with ServerThread() as (host, port):
+            with ServeClient(host, port) as client:
+                ...
+
+    ``stop()`` performs the same graceful drain as SIGTERM would.
+    """
+
+    def __init__(self, **server_kwargs: object) -> None:
+        self._loop = asyncio.new_event_loop()
+        self._server = ViolationServer(**server_kwargs)
+        self._ready = threading.Event()
+        self._failure: BaseException | None = None
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve-loop", daemon=True
+        )
+        self._thread.start()
+        self._ready.wait()
+        if self._failure is not None:
+            raise self._failure
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        try:
+            self._loop.run_until_complete(self._server.start())
+        except BaseException as error:  # bind failure: surface in __init__
+            self._failure = error
+            self._ready.set()
+            return
+        self._ready.set()
+        self._loop.run_until_complete(self._server.serve_forever())
+        self._loop.close()
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The listening ``(host, port)``."""
+        return self._server.address
+
+    @property
+    def server(self) -> ViolationServer:
+        """The wrapped server (only touch it from its own loop)."""
+        return self._server
+
+    def stop(self, timeout: float | None = 30.0) -> None:
+        """Drain and stop the server, then join the loop thread."""
+        if not self._thread.is_alive():
+            return
+        future = asyncio.run_coroutine_threadsafe(self._server.stop(), self._loop)
+        future.result(timeout)
+        self._thread.join(timeout)
+
+    def __enter__(self) -> tuple[str, int]:
+        return self.address
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

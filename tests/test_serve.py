@@ -9,14 +9,19 @@ against it on the running example and random relations.
 
 from __future__ import annotations
 
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+
 import numpy as np
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from tests.conftest import make_random_relation
 from repro.core.dc import DenialConstraint
 from repro.core.predicate_space import build_predicate_space
 from repro.core.repair import build_conflict_graph, vertex_cover_greedy
 from repro.incremental import EvidenceStore, ViolationService
+from repro.serve import AppendScheduler, ViolationCounters
 
 
 @pytest.fixture(scope="module")
@@ -170,6 +175,88 @@ class TestBatchAdmission:
         service.check_batch([relation.row(0)])
         assert store.n_rows == rows_before
         assert store.generation == generation
+
+
+class TestConcurrentInterleavingProperty:
+    """Any concurrent append+read interleaving is exactly consistent.
+
+    Hypothesis drives a random schedule of concurrent appends and counter
+    reads through a real :class:`AppendScheduler` +
+    :class:`ViolationCounters` pair (the serving layer's write and read
+    paths).  Appends coalesce nondeterministically depending on event-loop
+    timing, but because the relation is append-only, every counter
+    snapshot claims to describe some prefix of the final relation — so
+    each one must be bit-identical to a from-scratch
+    :class:`ViolationService` rebuild of that prefix, and the final
+    counters to a rebuild of the final relation.
+    """
+
+    @staticmethod
+    def _rebuild_counts(relation, n_rows, space, adcs):
+        """Serial oracle: fresh store + service on the first ``n_rows``."""
+        store = EvidenceStore(relation.take(range(n_rows)), space=space)
+        service = ViolationService(store, adcs)
+        return [service.violations(i).count for i in range(len(adcs))]
+
+    @settings(max_examples=12, deadline=None)
+    @given(
+        schedule=st.lists(
+            st.one_of(
+                st.just(("read",)),
+                st.lists(
+                    st.integers(min_value=0, max_value=14),
+                    min_size=1,
+                    max_size=3,
+                ).map(lambda indices: ("append", tuple(indices))),
+            ),
+            min_size=1,
+            max_size=8,
+        ),
+        flush_window=st.sampled_from([0.0, 0.004]),
+    )
+    def test_any_interleaving_matches_serial_rebuild(
+        self, served, schedule, flush_window
+    ):
+        relation, _, adcs, _ = served
+        space = build_predicate_space(relation)
+
+        async def drive():
+            store = EvidenceStore(relation.take(range(8)), space=space)
+            service = ViolationService(store, adcs)
+            counters = ViolationCounters(service.hitting_words, store)
+            snapshots = [counters.snapshot()]
+            with ThreadPoolExecutor(2) as executor:
+                scheduler = AppendScheduler(
+                    store, asyncio.Lock(), executor, flush_window=flush_window
+                )
+                tasks = []
+                for op in schedule:
+                    if op[0] == "append":
+                        rows = [relation.row(i) for i in op[1]]
+                        tasks.append(asyncio.create_task(scheduler.append(rows)))
+                    else:
+                        snapshots.append(counters.snapshot())
+                        # Yield so pending appends can actually interleave
+                        # with (and race) subsequent reads.
+                        await asyncio.sleep(0)
+                if tasks:
+                    await asyncio.gather(*tasks)
+                await scheduler.drain()
+            snapshots.append(counters.snapshot())
+            return store, snapshots
+
+        store, snapshots = asyncio.run(drive())
+        final = store.relation
+        appended = sum(len(op[1]) for op in schedule if op[0] == "append")
+        assert final.n_rows == 8 + appended
+        assert snapshots[-1].n_rows == final.n_rows
+        oracle_cache: dict[int, list[int]] = {}
+        for snapshot in snapshots:
+            if snapshot.n_rows not in oracle_cache:
+                oracle_cache[snapshot.n_rows] = self._rebuild_counts(
+                    final, snapshot.n_rows, space, adcs
+                )
+            assert list(snapshot.counts) == oracle_cache[snapshot.n_rows]
 
 
 class TestRandomRelations:
