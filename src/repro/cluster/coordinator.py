@@ -301,6 +301,7 @@ class ClusterCoordinator:
         context: object,
         tasks: list[object],
         weights: list[int] | None = None,
+        journal: object | None = None,
     ) -> list[object]:
         """Run ``context.run(task)`` for every task; results in task order.
 
@@ -311,22 +312,43 @@ class ClusterCoordinator:
         fails with a worker-side exception (an ``error`` frame — those are
         not retried: the task would fail identically everywhere).
 
+        ``journal`` (a
+        :class:`~repro.durability.journal.SubmissionJournal`) persists the
+        submission's progress: each landed result is recorded before it
+        can be observed, so a coordinator killed mid-fold resumes — same
+        tasks, same journal — running only the indices that never landed.
+
         Thread-safe: concurrent calls from different threads run one at a
         time (whole submissions, in lock-acquisition order).
         """
         if not tasks:
+            if journal is not None:
+                journal.begin(0)
+                journal.finish()
             return []
         if weights is not None and len(weights) != len(tasks):
             raise ValueError("weights must align with tasks")
         with self._submit_lock:
-            return self._submit_locked(context, tasks, weights)
+            return self._submit_locked(context, tasks, weights, journal)
 
     def _submit_locked(
         self,
         context: object,
         tasks: list[object],
         weights: list[int] | None,
+        journal: object | None = None,
     ) -> list[object]:
+        completed: dict[int, object] = {}
+        if journal is not None:
+            completed = {
+                int(index): payload
+                for index, payload in journal.begin(len(tasks)).items()
+            }
+            if len(completed) >= len(tasks):
+                # A previous run landed everything before dying; nothing to
+                # schedule (works even with zero workers registered).
+                journal.finish()
+                return [completed[index] for index in range(len(tasks))]
         if self.n_alive == 0:
             raise ClusterError("no alive workers registered")
         submission = next(self._submission_counter)
@@ -352,12 +374,12 @@ class ClusterCoordinator:
                     worker.last_seen = time.monotonic()
 
         order = sorted(
-            range(len(tasks)),
+            (index for index in range(len(tasks)) if index not in completed),
             key=(lambda i: -weights[i]) if weights is not None else (lambda i: i),
         )
         pending: deque[int] = deque(order)
         queued = set(order)          # indices currently waiting in `pending`
-        done: dict[int, object] = {}
+        done: dict[int, object] = dict(completed)
         deadlines: dict[int, float] = {}  # straggler deadline per live index
 
         try:
@@ -377,7 +399,8 @@ class ClusterCoordinator:
                         ) from None
                 else:
                     self._handle(
-                        submission, worker_id, message, pending, queued, done, deadlines
+                        submission, worker_id, message, pending, queued, done,
+                        deadlines, journal,
                     )
                     while True:  # drain the backlog without blocking
                         try:
@@ -385,7 +408,8 @@ class ClusterCoordinator:
                         except queue.Empty:
                             break
                         self._handle(
-                            submission, worker_id, message, pending, queued, done, deadlines
+                            submission, worker_id, message, pending, queued,
+                            done, deadlines, journal,
                         )
                 self._check_stragglers(pending, queued, done, deadlines)
                 self._heartbeat()
@@ -396,6 +420,8 @@ class ClusterCoordinator:
             for worker in self._workers.values():
                 worker.context_pending = None
 
+        if journal is not None:
+            journal.finish()
         return [done[index] for index in range(len(tasks))]
 
     def _assign(self, submission, tasks, pending, queued, done, deadlines) -> None:
@@ -420,7 +446,8 @@ class ClusterCoordinator:
                 return
 
     def _handle(
-        self, submission, worker_id, message, pending, queued, done, deadlines
+        self, submission, worker_id, message, pending, queued, done, deadlines,
+        journal=None,
     ) -> None:
         worker = self._workers[worker_id]
         worker.last_seen = time.monotonic()
@@ -439,6 +466,11 @@ class ClusterCoordinator:
                 self._deliver_pending_context(worker)
             their_submission, index = task_key
             if their_submission == submission and index not in done:
+                if journal is not None:
+                    # Durable before observable: a crash after this line
+                    # resumes with the result; a crash before it re-runs
+                    # the task — either way, exactly one result survives.
+                    journal.record_result(index, payload)
                 done[index] = payload
                 deadlines.pop(index, None)
         elif kind == "error":

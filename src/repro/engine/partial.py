@@ -188,6 +188,60 @@ class PartialEvidenceSet:
             np.add.at(totals, ids, chunk_counts)
         return words, totals
 
+    def state_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """The partial compacted to four arrays, for durable snapshots.
+
+        Returns ``(words, totals, part_keys, part_counts)``: the distinct
+        word rows in intern order with their summed multiplicities, plus the
+        fully aggregated ``evidence_id * n_rows + tuple_id`` participation
+        histogram (sorted by key; empty arrays when participation is off).
+        Evidence ids inside ``part_keys`` index into ``words`` rows.  The
+        chunk structure — which tiles were absorbed in which order, through
+        which merge tree — is deliberately erased: :meth:`finalize` already
+        guarantees it cannot influence the result, so a partial restored via
+        :meth:`from_state_arrays` finalizes bit-identically.
+        """
+        words, totals = self.word_histogram()
+        if self.include_participation and self._part_key_chunks:
+            part_keys, part_counts = aggregate_key_histogram(
+                self._part_key_chunks, self._part_count_chunks
+            )
+        else:
+            part_keys = np.zeros(0, dtype=np.int64)
+            part_counts = np.zeros(0, dtype=np.int64)
+        return words, totals, part_keys, part_counts
+
+    @classmethod
+    def from_state_arrays(
+        cls,
+        n_rows: int,
+        n_words: int,
+        include_participation: bool,
+        words: np.ndarray,
+        totals: np.ndarray,
+        part_keys: np.ndarray,
+        part_counts: np.ndarray,
+    ) -> "PartialEvidenceSet":
+        """Rebuild a partial from :meth:`state_arrays` output.
+
+        The restored partial merges, rebases, and finalizes exactly like the
+        original — intern order is preserved by construction, and finalize
+        erases it anyway.
+        """
+        partial = cls(n_rows, n_words, include_participation)
+        words = np.ascontiguousarray(words, dtype=np.uint64).reshape(-1, int(n_words))
+        if len(words):
+            partial._rows = [row for row in words]
+            partial._ids = {row.tobytes(): i for i, row in enumerate(words)}
+            if len(partial._ids) != len(words):
+                raise ValueError("snapshot word rows are not distinct")
+            partial._id_chunks = [np.arange(len(words), dtype=np.int64)]
+            partial._count_chunks = [np.asarray(totals, dtype=np.int64)]
+        if include_participation and len(part_keys):
+            partial._part_key_chunks = [np.asarray(part_keys, dtype=np.int64)]
+            partial._part_count_chunks = [np.asarray(part_counts, dtype=np.int64)]
+        return partial
+
     def copy(self) -> "PartialEvidenceSet":
         """Independent copy (chunk arrays are shared, never mutated)."""
         duplicate = PartialEvidenceSet(self.n_rows, self.n_words, self.include_participation)
@@ -252,6 +306,15 @@ def participation_from_key_chunks(
             TupleParticipation(np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64))
             for _ in range(n_evidences)
         ]
+    unique_keys, summed = aggregate_key_histogram(key_chunks, count_chunks)
+    return split_participation(unique_keys, summed, n_rows, n_evidences)
+
+
+def aggregate_key_histogram(
+    key_chunks: list[np.ndarray],
+    count_chunks: list[np.ndarray],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sum per-chunk ``(key, count)`` histograms into one sorted histogram."""
     keys = np.concatenate(key_chunks)
     counts = np.concatenate(count_chunks)
     order = np.argsort(keys, kind="stable")
@@ -260,7 +323,7 @@ def participation_from_key_chunks(
     starts = np.flatnonzero(np.r_[True, keys[1:] != keys[:-1]])
     unique_keys = keys[starts]
     summed = np.add.reduceat(counts, starts)
-    return split_participation(unique_keys, summed, n_rows, n_evidences)
+    return unique_keys, summed
 
 
 def split_participation(

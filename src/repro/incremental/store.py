@@ -182,7 +182,11 @@ class EvidenceStore:
     # ------------------------------------------------------------------
     # Appending
     # ------------------------------------------------------------------
-    def append(self, rows: "Relation | Iterable[Mapping[str, object]]") -> int:
+    def append(
+        self,
+        rows: "Relation | Iterable[Mapping[str, object]]",
+        pre_commit: Callable[[int], None] | None = None,
+    ) -> int:
         """Absorb a batch of new rows; returns the number of rows appended.
 
         Only the new-vs-old rectangles and the new-vs-new square of the pair
@@ -195,6 +199,13 @@ class EvidenceStore:
         failure anywhere (a dirty value the column type rejects, a broken
         worker pool) leaves the store exactly as it was — safe to fix the
         batch and retry.
+
+        ``pre_commit(n_new)`` is the write-ahead hook: it runs after the
+        batch has been validated and its delta computed, but before any
+        state is swapped in.  A durability journal writes (and fsyncs) the
+        batch record here — if the journal write fails, the append fails
+        with the store untouched, so the log never lags the in-memory state
+        and the in-memory state never leads the log.
         """
         staged = self._relation.copy()
         n_before = staged.n_rows
@@ -202,6 +213,8 @@ class EvidenceStore:
         if n_new == 0:
             return 0
         delta = self._builder.delta_partial(staged, n_before)
+        if pre_commit is not None:
+            pre_commit(n_new)
         # Commit point: nothing below computes, so nothing below fails.
         self._relation = staged
         self._partial.rebase_rows(staged.n_rows)
@@ -211,6 +224,51 @@ class EvidenceStore:
         for listener in self._append_listeners:
             listener(delta, n_before, staged.n_rows)
         return n_new
+
+    @classmethod
+    def from_state(
+        cls,
+        relation: "Relation",
+        space: "PredicateSpace",
+        partial: "PartialEvidenceSet",
+        generation: int = 0,
+        tile_rows: int | None = None,
+        n_workers: int = 1,
+        cluster: object | None = None,
+        memory_budget_bytes: int = DEFAULT_MEMORY_BUDGET_BYTES,
+    ) -> "EvidenceStore":
+        """Reassemble a store from externally persisted state.
+
+        This is the recovery constructor of the durability layer
+        (:mod:`repro.durability`): ``relation`` and ``partial`` come from a
+        snapshot, ``space`` must be rebuilt from the same seed rows the
+        original store was born with (the space is fixed at store birth —
+        re-deriving it from grown data would change the bit layout under the
+        stored words).  No evidence is computed; the partial is adopted
+        as-is and finalizes lazily like any other store.
+        """
+        if partial.n_rows != relation.n_rows:
+            raise ValueError(
+                f"partial keyed on {partial.n_rows} rows cannot adopt a "
+                f"{relation.n_rows}-row relation"
+            )
+        store = object.__new__(cls)
+        store._relation = relation.copy()
+        store.space = space
+        store._builder = DeltaEvidenceBuilder(
+            space,
+            include_participation=partial.include_participation,
+            tile_rows=tile_rows,
+            n_workers=n_workers,
+            cluster=cluster,
+            memory_budget_bytes=memory_budget_bytes,
+        )
+        store._partial = partial
+        store._evidence = None
+        store._generation = int(generation)
+        store._append_listeners = []
+        store.last_enumeration_statistics = None
+        return store
 
     def clone(self) -> "EvidenceStore":
         """An independent store with the same state (cheap, copy-on-append).

@@ -19,7 +19,14 @@ a *server* that holds production traffic:
   executor-offloaded store work, graceful drain) plus the
   :class:`ServerThread` harness for embedding it in sync programs.
 * :mod:`repro.serve.client` — :class:`ServeClient`: the one blocking
-  client tests, benchmarks, and examples share.
+  client tests, benchmarks, and examples share, with read timeouts
+  (:class:`ServeTimeout`) and idempotent retry across reconnects.
+
+Durability: start the server with a data directory and every tenant store
+journals appends ahead of acknowledgment, compacts into snapshots, and is
+recovered bit-identically on restart (see :mod:`repro.durability`)::
+
+    python -m repro.serve --listen 127.0.0.1:7332 --data-dir /var/lib/repro
 
 Run a server::
 
@@ -36,7 +43,7 @@ and talk to it::
 
 from repro.serve.client import ServeClient
 from repro.serve.counters import CounterSnapshot, ViolationCounters
-from repro.serve.protocol import ServeError
+from repro.serve.protocol import ServeError, ServeTimeout
 from repro.serve.scheduler import AppendScheduler
 from repro.serve.server import ServerThread, ViolationServer
 
@@ -45,6 +52,7 @@ __all__ = [
     "CounterSnapshot",
     "ServeClient",
     "ServeError",
+    "ServeTimeout",
     "ServerThread",
     "ViolationServer",
     "ViolationCounters",

@@ -47,6 +47,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-frame-mb", type=int, default=64,
         help="per-frame size bound in MiB (default %(default)s)",
     )
+    parser.add_argument(
+        "--data-dir", default=None, metavar="DIR",
+        help="durability root: journal every store under DIR/<name>/ and "
+             "recover all journaled stores on boot (default: in-memory only)",
+    )
+    parser.add_argument(
+        "--fsync", choices=("always", "commit", "never"), default="commit",
+        help="WAL fsync policy for tenant journals (default %(default)s)",
+    )
+    parser.add_argument(
+        "--snapshot-bytes", type=int, default=4 * 1024 * 1024,
+        help="WAL size triggering snapshot compaction (default %(default)s)",
+    )
+    parser.add_argument(
+        "--max-stores", type=int, default=None,
+        help="cap on live tenant stores (default: unlimited)",
+    )
+    parser.add_argument(
+        "--max-rows-per-store", type=int, default=None,
+        help="per-tenant row quota (default: unlimited)",
+    )
+    parser.add_argument(
+        "--dedup-window", type=int, default=1024,
+        help="idempotency window per store, in keyed appends "
+             "(default %(default)s)",
+    )
     return parser
 
 
@@ -59,6 +85,12 @@ async def _amain(args: argparse.Namespace) -> int:
         executor_threads=args.executor_threads,
         store_workers=args.store_workers,
         max_frame_bytes=args.max_frame_mb * 1024 * 1024,
+        data_dir=args.data_dir,
+        fsync=args.fsync,
+        snapshot_every_bytes=args.snapshot_bytes,
+        max_stores=args.max_stores,
+        max_rows_per_store=args.max_rows_per_store,
+        dedup_window=args.dedup_window,
     )
     host, port = await server.start()
     print(f"repro-serve listening on {host}:{port}", flush=True)

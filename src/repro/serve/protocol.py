@@ -50,6 +50,7 @@ UNKNOWN_STORE = "unknown_store"      #: store name not registered
 STORE_EXISTS = "store_exists"        #: create_store of an existing name
 NO_CONSTRAINTS = "no_constraints"    #: violation query before remine/declare
 SHUTTING_DOWN = "shutting_down"      #: request arrived during graceful drain
+QUOTA_EXCEEDED = "quota_exceeded"    #: per-tenant store/row quota would be crossed
 INTERNAL = "internal"                #: unexpected server-side failure
 
 
@@ -60,6 +61,24 @@ class ServeError(RuntimeError):
         super().__init__(f"[{code}] {message}")
         self.code = code
         self.message = message
+
+
+class ServeTimeout(ConnectionError):
+    """The server did not answer (or accept a connection) within the
+    client's timeout.
+
+    A ``ConnectionError`` subclass on purpose: after a read timeout the
+    connection is unusable (a late response would desynchronize request
+    ids), so callers that already handle dead links handle timeouts too.
+    """
+
+
+class QuotaExceeded(RuntimeError):
+    """Server-side: a per-tenant quota would be crossed.
+
+    Raised by the append scheduler / store registry and mapped to a
+    :data:`QUOTA_EXCEEDED` error frame by the dispatcher.
+    """
 
 
 def jsonable(value: object) -> object:

@@ -33,7 +33,10 @@ import asyncio
 from concurrent.futures import Executor
 from typing import TYPE_CHECKING, Mapping, Sequence
 
+from repro.serve.protocol import QuotaExceeded
+
 if TYPE_CHECKING:
+    from repro.durability.journal import DedupWindow, StoreJournal
     from repro.incremental.store import EvidenceStore
 
 Row = Mapping[str, object]
@@ -58,6 +61,20 @@ class AppendScheduler:
         latency for bigger flushes.
     max_pending_rows:
         Parked-row bound; appenders past it wait for the next flush.
+    max_rows:
+        Optional per-tenant row quota: an append that would grow the store
+        (plus everything already parked) past it is refused with
+        :class:`~repro.serve.protocol.QuotaExceeded` instead of parked.
+    journal:
+        Optional :class:`~repro.durability.journal.StoreJournal`.  Each
+        flush's batch is journaled (and fsynced) inside the store's
+        ``pre_commit`` hook — write-ahead of the in-memory commit, and
+        therefore of every acknowledgment the flush produces.  The flush
+        window *is* the commit+fsync unit: one coalesced flush pays one
+        record and one fsync.
+    dedup:
+        Optional :class:`~repro.durability.journal.DedupWindow` giving
+        keyed appends exactly-once semantics across retries and restarts.
     """
 
     def __init__(
@@ -67,6 +84,9 @@ class AppendScheduler:
         executor: Executor,
         flush_window: float = 0.0,
         max_pending_rows: int = 100_000,
+        max_rows: int | None = None,
+        journal: "StoreJournal | None" = None,
+        dedup: "DedupWindow | None" = None,
     ) -> None:
         if flush_window < 0:
             raise ValueError("flush_window must be >= 0")
@@ -77,10 +97,14 @@ class AppendScheduler:
         self._executor = executor
         self.flush_window = float(flush_window)
         self.max_pending_rows = int(max_pending_rows)
-        self._pending: list[tuple[list[Row], asyncio.Future]] = []
+        self.max_rows = None if max_rows is None else int(max_rows)
+        self.journal = journal
+        self.dedup = dedup
+        self._pending: list[tuple[list[Row], asyncio.Future, str | None]] = []
         self._pending_rows = 0
         self._space: asyncio.Condition = asyncio.Condition()
         self._flusher: asyncio.Task | None = None
+        self._inflight: dict[str, asyncio.Future] = {}
         self.flushes = 0
         self.coalesced_requests = 0
         self.appended_rows = 0
@@ -94,12 +118,20 @@ class AppendScheduler:
     # ------------------------------------------------------------------
     # Request side
     # ------------------------------------------------------------------
-    async def append(self, rows: Sequence[Row]) -> dict[str, object]:
+    async def append(
+        self, rows: Sequence[Row], request_key: str | None = None
+    ) -> dict[str, object]:
         """Park ``rows`` for the next flush; resolves once committed.
 
         Returns ``{"appended", "n_rows", "generation", "coalesced"}`` for
         the flush that carried the request.  Raises whatever the store's
         append raised for *this request's* rows (flush-mates unaffected).
+
+        ``request_key`` makes the append idempotent: a key already in the
+        dedup window returns the original commit's result (marked
+        ``"deduplicated": true``) without committing again, and a key
+        whose first attempt is still in flight awaits that same commit —
+        the retry semantics clients need when an acknowledgment is lost.
         """
         rows = list(rows)
         if not rows:
@@ -109,12 +141,33 @@ class AppendScheduler:
                 "generation": self._store.generation,
                 "coalesced": 0,
             }
+        if request_key is not None and self.dedup is not None:
+            previous = self.dedup.get(request_key)
+            if previous is not None:
+                return {**previous, "deduplicated": True}
+            pending = self._inflight.get(request_key)
+            if pending is not None:
+                # The first attempt is mid-commit; share its outcome (and
+                # shield it — a retry's disconnect must not cancel it).
+                result = await asyncio.shield(pending)
+                return {**result, "deduplicated": True}
+        if (
+            self.max_rows is not None
+            and self._store.n_rows + self._pending_rows + len(rows) > self.max_rows
+        ):
+            raise QuotaExceeded(
+                f"append of {len(rows)} rows would exceed the store's "
+                f"{self.max_rows}-row quota "
+                f"({self._store.n_rows} committed, {self._pending_rows} pending)"
+            )
         async with self._space:
             while self._pending_rows >= self.max_pending_rows:
                 await self._space.wait()
             future: asyncio.Future = asyncio.get_running_loop().create_future()
-            self._pending.append((rows, future))
+            self._pending.append((rows, future, request_key))
             self._pending_rows += len(rows)
+            if request_key is not None:
+                self._inflight[request_key] = future
             if self._flusher is None or self._flusher.done():
                 self._flusher = asyncio.create_task(self._flush_loop())
         return await future
@@ -157,27 +210,57 @@ class AppendScheduler:
                         future.set_exception(outcome)
                     else:
                         future.set_result(outcome)
+                for _, future, key in batch:
+                    if key is not None and self._inflight.get(key) is future:
+                        del self._inflight[key]
             async with self._space:
                 if not self._pending:
                     self._flusher = None
                     return
 
+    def _journal_hook(self, rows: list[Row], requests: list[list[object]]):
+        """The ``pre_commit`` hook journaling one commit, or ``None``.
+
+        Runs inside :meth:`EvidenceStore.append` after the batch is
+        validated but before any state swaps in: the record is written and
+        fsynced first, so a journal failure fails the append with the
+        store untouched, and a crash after the hook replays to exactly the
+        committed state.
+        """
+        journal = self.journal
+        if journal is None:
+            return None
+        return lambda n_new: journal.log_append(rows, requests)
+
+    def _record_results(
+        self, requests: list[list[object]], result_for: dict
+    ) -> None:
+        """Remember keyed requests' results for idempotent retries."""
+        if self.dedup is None:
+            return
+        for key, n_rows in requests:
+            if key is not None:
+                self.dedup.record(key, dict(result_for, appended=int(n_rows)))
+
     def _commit(
-        self, batch: list[tuple[list[Row], asyncio.Future]]
+        self, batch: list[tuple[list[Row], asyncio.Future, str | None]]
     ) -> list[tuple[asyncio.Future, object]]:
         """Apply one flush on the executor thread; never raises.
 
-        The combined commit is tried first (one fold for the whole flush);
-        if the store rejects it — one request's rows failed coercion, and
-        the store's atomic append rolled everything back — each request is
-        retried alone so the failure stays with its owner.
+        The combined commit is tried first (one fold, one journal record,
+        one fsync for the whole flush); if the store rejects it — one
+        request's rows failed coercion, and the store's atomic append
+        rolled everything back — each request is retried alone so the
+        failure stays with its owner (each surviving request then journals
+        its own record, keeping replayed generation numbers in step).
         """
         store = self._store
         self.flushes += 1
         self.coalesced_requests += len(batch)
-        combined: list[Row] = [row for rows, _ in batch for row in rows]
+        combined: list[Row] = [row for rows, _, _ in batch for row in rows]
+        requests = [[key, len(rows)] for rows, _, key in batch]
         try:
-            store.append(combined)
+            store.append(combined, pre_commit=self._journal_hook(combined, requests))
         except Exception as combined_error:
             if len(batch) == 1:
                 # The combined batch *is* the lone request; the failure is
@@ -185,27 +268,49 @@ class AppendScheduler:
                 return [(batch[0][1], combined_error)]
             self.fallback_flushes += 1
             outcomes: list[tuple[asyncio.Future, object]] = []
-            for rows, future in batch:
+            for rows, future, key in batch:
                 try:
-                    appended = store.append(rows)
+                    appended = store.append(
+                        rows, pre_commit=self._journal_hook(rows, [[key, len(rows)]])
+                    )
                 except Exception as error:
                     outcomes.append((future, error))
                 else:
                     self.appended_rows += appended
-                    outcomes.append((future, {
+                    result = {
                         "appended": appended,
                         "n_rows": store.n_rows,
                         "generation": store.generation,
                         "coalesced": 1,
-                    }))
+                    }
+                    self._record_results([[key, appended]], result)
+                    outcomes.append((future, result))
+            self._maybe_snapshot()
             return outcomes
         self.appended_rows += len(combined)
+        base = {
+            "n_rows": store.n_rows,
+            "generation": store.generation,
+            "coalesced": len(batch),
+        }
+        self._record_results(requests, base)
+        self._maybe_snapshot()
         return [
-            (future, {
-                "appended": len(rows),
-                "n_rows": store.n_rows,
-                "generation": store.generation,
-                "coalesced": len(batch),
-            })
-            for rows, future in batch
+            (future, {"appended": len(rows), **base})
+            for rows, future, _ in batch
         ]
+
+    def _maybe_snapshot(self) -> None:
+        """Compact the journal when its WAL has outgrown the threshold.
+
+        Called on the executor thread right after a commit, store lock
+        held, so the snapshot sees a quiescent store.  A snapshot failure
+        is deliberately swallowed: the WAL is intact, so durability holds
+        — compaction just retries after the next flush.
+        """
+        if self.journal is None:
+            return
+        try:
+            self.journal.maybe_snapshot(self._store, self.dedup)
+        except Exception:  # noqa: BLE001 - compaction is best-effort
+            pass

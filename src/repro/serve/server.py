@@ -31,9 +31,12 @@ from __future__ import annotations
 
 import asyncio
 import itertools
+import re
+import shutil
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
 from typing import Mapping, Sequence
 
 from repro.core.dc import DenialConstraint
@@ -41,6 +44,15 @@ from repro.core.operators import Operator
 from repro.core.predicates import Predicate, PredicateForm
 from repro.data.relation import Relation
 from repro.data.types import ColumnType
+from repro.durability.journal import (
+    DEFAULT_DEDUP_WINDOW,
+    DEFAULT_SNAPSHOT_BYTES,
+    DedupWindow,
+    RecoveryError,
+    StoreJournal,
+    plain_rows,
+    relation_types,
+)
 from repro.incremental.serve import ViolationService
 from repro.incremental.store import EvidenceStore
 from repro.serve import protocol
@@ -50,6 +62,33 @@ from repro.serve.scheduler import AppendScheduler
 #: Per-connection pipelining bound: frames parked awaiting dispatch before
 #: the reader stops pulling from the socket.
 DEFAULT_MAX_PIPELINE = 64
+
+#: Durable store names double as directory names, so they must be safe to
+#: join onto ``data_dir`` (no separators, no leading dot).
+_STORE_NAME = re.compile(r"[A-Za-z0-9][A-Za-z0-9_.-]*\Z")
+
+
+def constraint_specs(
+    constraints: Sequence[object],
+) -> list[list[dict[str, str]]]:
+    """The wire/journal form of a constraint list (mined ADCs or plain DCs).
+
+    The inverse of :func:`parse_predicate`, applied per predicate — what
+    the journal replays through ``declare`` semantics at recovery.
+    """
+    specs: list[list[dict[str, str]]] = []
+    for entry in constraints:
+        dc = getattr(entry, "constraint", entry)  # DiscoveredADC unwraps
+        specs.append([
+            {
+                "left": predicate.left_column,
+                "op": predicate.operator.value,
+                "right": predicate.right_column,
+                "form": predicate.form.value,
+            }
+            for predicate in dc.predicates
+        ])
+    return specs
 
 
 class _RequestError(Exception):
@@ -64,13 +103,32 @@ class StoreState:
     """Everything the server holds for one tenant store."""
 
     def __init__(self, name: str, store: EvidenceStore, scheduler: AppendScheduler,
-                 lock: asyncio.Lock) -> None:
+                 lock: asyncio.Lock,
+                 journal: StoreJournal | None = None,
+                 dedup: DedupWindow | None = None) -> None:
         self.name = name
         self.store = store
         self.scheduler = scheduler
         self.lock = lock
+        self.journal = journal
+        self.dedup = dedup
+        self.recovery: dict[str, object] | None = None
         self.service: ViolationService | None = None
         self.counters: ViolationCounters | None = None
+
+    def close(self) -> None:
+        """Release everything that outlives a plain ``del`` (drop path).
+
+        The counters' append listener keeps the state alive through the
+        store's listener list, and the journal keeps the WAL file handle
+        open — both must be detached explicitly or a dropped tenant leaks.
+        """
+        if self.counters is not None:
+            self.counters.detach()
+            self.counters = None
+        self.service = None
+        if self.journal is not None:
+            self.journal.close()
 
 
 def parse_predicate(spec: Mapping[str, object]) -> Predicate:
@@ -137,6 +195,25 @@ class ViolationServer:
         Refusal bound for a single request/response frame.
     max_pipeline:
         Per-connection bounded-queue depth.
+    data_dir:
+        Optional durability root.  When set, every tenant store journals
+        to ``data_dir/<name>/`` — appends are written ahead of every
+        acknowledgment, snapshots bound the log, and :meth:`start`
+        recovers every journaled tenant (bit-identically) before the
+        server accepts connections.
+    fsync:
+        WAL fsync policy for tenant journals (``always``/``commit``/
+        ``never``; see :class:`~repro.durability.wal.WriteAheadLog`).
+    snapshot_every_bytes:
+        WAL size that triggers per-tenant snapshot compaction.
+    max_stores:
+        Optional cap on live tenant stores (``quota_exceeded`` past it).
+    max_rows_per_store:
+        Optional per-tenant row quota, enforced by each store's
+        append scheduler.
+    dedup_window:
+        Capacity of each store's idempotency window (keyed append
+        retries; active regardless of ``data_dir``).
     """
 
     def __init__(
@@ -150,6 +227,12 @@ class ViolationServer:
         cluster: object | None = None,
         max_frame_bytes: int = protocol.MAX_FRAME_BYTES,
         max_pipeline: int = DEFAULT_MAX_PIPELINE,
+        data_dir: str | Path | None = None,
+        fsync: str = "commit",
+        snapshot_every_bytes: int = DEFAULT_SNAPSHOT_BYTES,
+        max_stores: int | None = None,
+        max_rows_per_store: int | None = None,
+        dedup_window: int = DEFAULT_DEDUP_WINDOW,
     ) -> None:
         self.host = host
         self.port = int(port)
@@ -159,6 +242,15 @@ class ViolationServer:
         self.cluster = cluster
         self.max_frame_bytes = int(max_frame_bytes)
         self.max_pipeline = int(max_pipeline)
+        self.data_dir = None if data_dir is None else Path(data_dir)
+        self.fsync = str(fsync)
+        self.snapshot_every_bytes = int(snapshot_every_bytes)
+        self.max_stores = None if max_stores is None else int(max_stores)
+        self.max_rows_per_store = (
+            None if max_rows_per_store is None else int(max_rows_per_store)
+        )
+        self.dedup_window = int(dedup_window)
+        self.recovery_failures: dict[str, str] = {}
         self._executor = ThreadPoolExecutor(
             max_workers=max(2, int(executor_threads)),
             thread_name_prefix="repro-serve",
@@ -182,6 +274,7 @@ class ViolationServer:
             "check_batch": self._op_check_batch,
             "violating_pairs": self._op_violating_pairs,
             "tuple_scores": self._op_tuple_scores,
+            "set_epsilon": self._op_set_epsilon,
             "stats": self._op_stats,
         }
 
@@ -189,14 +282,77 @@ class ViolationServer:
     # Lifecycle
     # ------------------------------------------------------------------
     async def start(self) -> tuple[str, int]:
-        """Bind and start accepting; returns the bound ``(host, port)``."""
+        """Bind and start accepting; returns the bound ``(host, port)``.
+
+        With ``data_dir`` set, every journaled tenant is recovered *before*
+        the listening socket opens, so the first client request already
+        sees the restored stores.  A tenant whose journal cannot be
+        recovered is reported in ``recovery_failures`` (and ``stats``)
+        instead of taking the whole server down — its directory is left
+        untouched for inspection.
+        """
         if self._server is not None:
             raise RuntimeError("server already started")
+        if self.data_dir is not None:
+            await asyncio.get_running_loop().run_in_executor(
+                self._executor, self._recover_all
+            )
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port
         )
         self.host, self.port = self._server.sockets[0].getsockname()[:2]
         return self.host, self.port
+
+    def _recover_all(self) -> None:
+        """Recover every tenant journal under ``data_dir`` (executor)."""
+        self.data_dir.mkdir(parents=True, exist_ok=True)
+        for child in sorted(self.data_dir.iterdir()):
+            if not child.is_dir():
+                continue
+            try:
+                recovered = StoreJournal.recover(
+                    child,
+                    fsync=self.fsync,
+                    snapshot_every_bytes=self.snapshot_every_bytes,
+                    store_workers=self.store_workers,
+                    cluster=self.cluster,
+                )
+            except RecoveryError as error:
+                self.recovery_failures[child.name] = str(error)
+                continue
+            dedup = DedupWindow(self.dedup_window)
+            dedup.load(recovered.dedup_entries)
+            lock = asyncio.Lock()
+            scheduler = AppendScheduler(
+                recovered.store, lock, self._executor,
+                flush_window=self.flush_window,
+                max_pending_rows=self.max_pending_rows,
+                max_rows=self.max_rows_per_store,
+                journal=recovered.journal, dedup=dedup,
+            )
+            state = StoreState(
+                recovered.name, recovered.store, scheduler, lock,
+                journal=recovered.journal, dedup=dedup,
+            )
+            state.recovery = recovered.stats.jsonable()
+            if recovered.constraint_specs:
+                try:
+                    constraints = [
+                        DenialConstraint(parse_predicate(p) for p in spec)
+                        for spec in recovered.constraint_specs
+                    ]
+                    self._install_constraints(
+                        state, constraints, recovered.epsilon or 0.01,
+                        source=recovered.constraint_source or "declared",
+                        journal=False,  # replaying, not a new declaration
+                    )
+                except Exception as error:  # noqa: BLE001 - keep the data
+                    recovered.journal.close()
+                    self.recovery_failures[child.name] = (
+                        f"constraints failed to reinstall: {error}"
+                    )
+                    continue
+            self._stores[recovered.name] = state
 
     @property
     def address(self) -> tuple[str, int]:
@@ -229,6 +385,9 @@ class ViolationServer:
             task.cancel()
         if self._connections:
             await asyncio.gather(*self._connections, return_exceptions=True)
+        for state in list(self._stores.values()):
+            if state is not None:
+                state.close()  # flush handles closed only after the drain
         await asyncio.get_running_loop().run_in_executor(
             None, self._executor.shutdown
         )
@@ -310,6 +469,10 @@ class ViolationServer:
             fields = await handler(message)
         except _RequestError as error:
             return protocol.error_response(request_id, error.code, str(error))
+        except protocol.QuotaExceeded as error:
+            return protocol.error_response(
+                request_id, protocol.QUOTA_EXCEEDED, str(error)
+            )
         except (KeyError, ValueError, TypeError, IndexError) as error:
             return protocol.error_response(
                 request_id, protocol.BAD_REQUEST, f"{type(error).__name__}: {error}"
@@ -375,15 +538,17 @@ class ViolationServer:
         state: StoreState,
         constraints: Sequence[object],
         epsilon: float,
+        source: str = "declared",
+        journal: bool = True,
     ) -> dict[str, object]:
         """Wire a constraint set to a store: service + fresh push counters.
 
         Runs on the executor (the counter seed is one pass over the stored
         partial).  The service reads its admission base counts from the
-        counters, so ``check_batch`` never finalizes either.
+        counters, so ``check_batch`` never finalizes either.  With a
+        durable store the installed set is journaled (``journal=False``
+        only on the recovery path, which is replaying the journal).
         """
-        if state.counters is not None:
-            state.counters.detach()  # superseded counters must stop updating
         counters_box: list[ViolationCounters] = []
         service = ViolationService(
             state.store,
@@ -391,6 +556,14 @@ class ViolationServer:
             epsilon=epsilon,
             base_counts_provider=lambda: counters_box[0].counts(),
         )
+        if journal and state.journal is not None:
+            # Write-ahead: journal before the swap, so a journal failure
+            # leaves the previous constraint set fully live.
+            state.journal.log_constraints(
+                constraint_specs(service.constraints), epsilon, source
+            )
+        if state.counters is not None:
+            state.counters.detach()  # superseded counters must stop updating
         counters_box.append(ViolationCounters(service.hitting_words, state.store))
         state.service = service
         state.counters = counters_box[0]
@@ -430,9 +603,33 @@ class ViolationServer:
             }
         except ValueError as error:
             raise _RequestError(protocol.BAD_REQUEST, str(error)) from error
+        if self.data_dir is not None and not _STORE_NAME.match(name):
+            raise _RequestError(
+                protocol.BAD_REQUEST,
+                f"store name {name!r} is not durable-safe: names double as "
+                "directory names (letters, digits, '_', '.', '-'; no "
+                "leading '.')",
+            )
         if name in self._stores:
             raise _RequestError(
                 protocol.STORE_EXISTS, f"store {name!r} already exists"
+            )
+        if (
+            self.max_stores is not None
+            and len(self._stores) >= self.max_stores
+        ):
+            raise _RequestError(
+                protocol.QUOTA_EXCEEDED,
+                f"server caps live stores at {self.max_stores}",
+            )
+        if (
+            self.max_rows_per_store is not None
+            and len(rows) > self.max_rows_per_store
+        ):
+            raise _RequestError(
+                protocol.QUOTA_EXCEEDED,
+                f"seed of {len(rows)} rows exceeds the "
+                f"{self.max_rows_per_store}-row per-store quota",
             )
         # Reserve the name before the (slow) executor build so a racing
         # duplicate create fails instead of building twice.
@@ -443,13 +640,27 @@ class ViolationServer:
             store = EvidenceStore(
                 relation, n_workers=self.store_workers, cluster=self.cluster
             )
+            journal = None
+            if self.data_dir is not None:
+                # Journal the creation only after the store accepted the
+                # rows: a build failure must not leave a journal behind.
+                journal = StoreJournal.create(
+                    self.data_dir / name, name,
+                    plain_rows(relation), relation_types(relation),
+                    fsync=self.fsync,
+                    snapshot_every_bytes=self.snapshot_every_bytes,
+                )
+            dedup = DedupWindow(self.dedup_window)
             lock = asyncio.Lock()
             scheduler = AppendScheduler(
                 store, lock, self._executor,
                 flush_window=self.flush_window,
                 max_pending_rows=self.max_pending_rows,
+                max_rows=self.max_rows_per_store,
+                journal=journal, dedup=dedup,
             )
-            return StoreState(name, store, scheduler, lock)
+            return StoreState(name, store, scheduler, lock,
+                              journal=journal, dedup=dedup)
 
         try:
             state = await asyncio.get_running_loop().run_in_executor(
@@ -464,19 +675,51 @@ class ViolationServer:
             "n_rows": state.store.n_rows,
             "n_predicates": len(state.store.space),
             "columns": state.store.relation.column_names,
+            "durable": state.journal is not None,
         }
 
     async def _op_drop_store(self, message: Mapping[str, object]) -> dict:
         state = self._state(message)
         await state.scheduler.drain()
         del self._stores[state.name]
+
+        def teardown() -> None:
+            state.close()
+            if self.data_dir is not None:
+                shutil.rmtree(self.data_dir / state.name, ignore_errors=True)
+
+        await asyncio.get_running_loop().run_in_executor(self._executor, teardown)
         return {"store": state.name, "dropped": True}
 
     async def _op_append(self, message: Mapping[str, object]) -> dict:
         state = self._state(message)
         rows = self._rows_field(message)
-        result = await state.scheduler.append(rows)
+        request_key = message.get("request_key")
+        if request_key is not None and not isinstance(request_key, str):
+            raise _RequestError(
+                protocol.BAD_REQUEST, "'request_key' must be a string"
+            )
+        result = await state.scheduler.append(rows, request_key=request_key)
         return {"store": state.name, **result}
+
+    async def _op_set_epsilon(self, message: Mapping[str, object]) -> dict:
+        """Change the served epsilon without re-installing constraints."""
+        state = self._state(message)
+        service = self._service(state)
+        try:
+            epsilon = float(message["epsilon"])
+        except (KeyError, TypeError, ValueError) as error:
+            raise _RequestError(
+                protocol.BAD_REQUEST, f"bad 'epsilon': {error}"
+            ) from error
+
+        def apply() -> dict[str, object]:
+            if state.journal is not None:
+                state.journal.log_epsilon(epsilon)  # write-ahead of the swap
+            service.epsilon = epsilon
+            return {"store": state.name, "epsilon": epsilon}
+
+        return await self._run_locked(state, apply)
 
     async def _op_remine(self, message: Mapping[str, object]) -> dict:
         state = self._state(message)
@@ -492,7 +735,8 @@ class ViolationServer:
             )
             if limit is not None:
                 adcs = adcs[: int(limit)]
-            return {**self._install_constraints(state, adcs, epsilon),
+            return {**self._install_constraints(state, adcs, epsilon,
+                                                source="mined"),
                     "mined": len(adcs)}
 
         return await self._run_locked(state, mine)
@@ -674,13 +918,29 @@ class ViolationServer:
                     "n_rows": snapshot.n_rows,
                     "applied_deltas": state.counters.applied_deltas,
                 }
+            if state.journal is not None:
+                entry["durability"] = {
+                    "records_logged": state.journal.records_logged,
+                    "wal_bytes": state.journal.wal.size_bytes,
+                    "snapshots_written": state.journal.snapshots_written,
+                    "snapshot_version": state.journal.snapshot_version,
+                    "dedup_entries": len(state.dedup) if state.dedup else 0,
+                    "recovered": state.recovery,  # None on a fresh create
+                }
             stores[name] = entry
-        return {
+        fields: dict[str, object] = {
             "uptime_seconds": time.monotonic() - self._started_at,
             "requests_served": self.requests_served,
             "connections": len(self._connections),
             "stores": stores,
         }
+        if self.data_dir is not None:
+            fields["durability"] = {
+                "data_dir": str(self.data_dir),
+                "fsync": self.fsync,
+                "recovery_failures": dict(self.recovery_failures),
+            }
+        return fields
 
 
 class ServerThread:
