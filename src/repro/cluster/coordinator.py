@@ -41,13 +41,15 @@ import time
 from collections import deque
 from dataclasses import dataclass, field
 
-from repro.cluster.shm import resolve_result
+from repro.cluster.shm import ShmPartial, resolve_result
 from repro.cluster.transport import (
     SocketTransport,
     Transport,
     TransportError,
     listen_socket,
 )
+from repro.obs import metrics as obs_metrics
+from repro.obs import spans as obs_spans
 
 
 class ClusterError(RuntimeError):
@@ -328,8 +330,20 @@ class ClusterCoordinator:
             return []
         if weights is not None and len(weights) != len(tasks):
             raise ValueError("weights must align with tasks")
-        with self._submit_lock:
-            return self._submit_locked(context, tasks, weights, journal)
+        submit_start = time.perf_counter()
+        try:
+            with self._submit_lock:
+                return self._submit_locked(context, tasks, weights, journal)
+        finally:
+            elapsed = time.perf_counter() - submit_start
+            obs_metrics.CLUSTER_SUBMIT_SECONDS.observe(elapsed)
+            obs_metrics.CLUSTER_BYTES_SENT.set(self.bytes_sent)
+            obs_metrics.CLUSTER_BYTES_RECEIVED.set(self.bytes_received)
+            span = obs_spans.current()
+            if span is not None:
+                # Nested inside the caller's fold segment — detail, not a
+                # top-level segment, so span sums stay disjoint.
+                span.add_detail("cluster_submit", elapsed)
 
     def _submit_locked(
         self,
@@ -433,6 +447,7 @@ class ClusterCoordinator:
                     continue  # a re-issued task whose original already landed
                 if self._send(worker, ("task", (submission, index), tasks[index])):
                     worker.task = (submission, index)
+                    obs_metrics.CLUSTER_DISPATCHED.inc_labels(worker.worker_id)
                     if self.task_timeout is not None:
                         deadlines[index] = time.monotonic() + self.task_timeout
                 else:
@@ -458,9 +473,11 @@ class ClusterCoordinator:
             pass
         elif kind == "result":
             _, task_key, payload = message
+            via_shm = isinstance(payload, ShmPartial)
             # Resolve (and for shm: attach + unlink) before any dedup — a
             # discarded duplicate must still release its segment.
             payload = resolve_result(payload)
+            obs_metrics.CLUSTER_RESULTS.inc_labels("shm" if via_shm else "pipe")
             if worker.task == task_key:
                 worker.task = None
                 self._deliver_pending_context(worker)
@@ -501,6 +518,7 @@ class ClusterCoordinator:
                 if their_submission == submission and index not in done and index not in queued:
                     pending.appendleft(index)
                     queued.add(index)
+                    obs_metrics.CLUSTER_REQUEUED.inc()
 
     def _deliver_pending_context(self, worker: _Worker) -> None:
         """Send the context deferred while the worker was busy, if any."""
@@ -529,6 +547,7 @@ class ClusterCoordinator:
                 pending.append(index)
                 queued.add(index)
                 self.reissued_tasks += 1
+                obs_metrics.CLUSTER_REISSUED.inc()
                 deadlines[index] = now + self.task_timeout
 
     def _heartbeat(self) -> None:

@@ -45,7 +45,7 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass, field
-from typing import Iterator, Literal, Sequence
+from typing import Callable, Iterator, Literal, Sequence
 
 import numpy as np
 
@@ -161,6 +161,8 @@ class ADCEnum:
         selection: SelectionStrategy = "max",
         max_dc_size: int | None = None,
         root_branch: int | str | None = None,
+        progress: "Callable[[EnumerationStatistics], None] | None" = None,
+        progress_interval: int = 8192,
     ) -> None:
         if epsilon < 0:
             raise ValueError("epsilon must be non-negative")
@@ -175,6 +177,15 @@ class ADCEnum:
         self.epsilon = float(epsilon)
         self.selection: SelectionStrategy = selection
         self.max_dc_size = max_dc_size
+        if progress_interval < 1:
+            raise ValueError("progress_interval must be positive")
+        # Live-observability hook: every ``progress_interval`` visited nodes
+        # the search calls ``progress(self.statistics)`` with the counters
+        # (and a refreshed ``elapsed_seconds`` / ``extra["max_stack_depth"]``)
+        # as of that instant.  The hook must not mutate the statistics —
+        # the counters are cross-checked against the legacy enumerator.
+        self.progress = progress
+        self.progress_interval = int(progress_interval)
         self.statistics = EnumerationStatistics()
         if self.function.requires_participation and not evidence.has_participation:
             raise ValueError(
@@ -267,6 +278,7 @@ class ADCEnum:
         """
         self.statistics = EnumerationStatistics()
         started = time.perf_counter()
+        self._search_started = started
         self._seen_outputs: set[int] = set()
         self._results: list[DiscoveredADC] = []
         workspace = self._get_workspace()
@@ -421,6 +433,12 @@ class ADCEnum:
         epsilon = self.epsilon
         selection = selection_code(self.selection)
         max_dc_size = self.max_dc_size
+        # Progress hook bookkeeping, hoisted so the disabled case costs one
+        # int compare per node (next_progress stays at +inf).
+        progress = self.progress
+        progress_interval = self.progress_interval
+        next_progress: float = progress_interval if progress is not None else math.inf
+        search_started = getattr(self, "_search_started", None)
 
         n_root = workspace.init_root()
         s_elements: list[int] = []
@@ -493,6 +511,15 @@ class ADCEnum:
 
             if phase == 0:
                 statistics.recursive_calls += 1
+                if statistics.recursive_calls >= next_progress:
+                    next_progress = statistics.recursive_calls + progress_interval
+                    if search_started is not None:
+                        # Overwritten with the final value by iter_adcs.
+                        statistics.elapsed_seconds = (
+                            time.perf_counter() - search_started
+                        )
+                    statistics.extra["max_stack_depth"] = float(max_depth)
+                    progress(statistics)
                 n = frame.n
                 uncovered_pairs = frame.uncovered_pairs
 

@@ -90,13 +90,18 @@ def run_enumeration(
     epsilon: float,
     selection: SelectionStrategy = "max",
     max_dc_size: int | None = None,
+    progress=None,
+    progress_interval: int = 8192,
 ) -> tuple[list[DiscoveredADC], EnumerationStatistics]:
     """Run ADCEnum over an evidence set, returning the ADCs and statistics.
 
     This is the enumeration step of the pipeline factored out so that both
     :meth:`ADCMiner.mine` and the incremental store's
     :meth:`~repro.incremental.store.EvidenceStore.remine` feed word planes
-    into the same enumerator call.
+    into the same enumerator call.  ``progress`` (called with the live
+    :class:`~repro.core.adc_enum.EnumerationStatistics` every
+    ``progress_interval`` visited nodes) is the observability hook the
+    serving layer uses to export nodes/sec gauges mid-run.
     """
     enumerator = ADCEnum(
         evidence,
@@ -104,6 +109,8 @@ def run_enumeration(
         epsilon,
         selection=selection,
         max_dc_size=max_dc_size,
+        progress=progress,
+        progress_interval=progress_interval,
     )
     adcs = enumerator.enumerate()
     return adcs, enumerator.statistics

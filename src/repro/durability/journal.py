@@ -33,6 +33,7 @@ from __future__ import annotations
 import json
 import pickle
 import threading
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -50,6 +51,8 @@ from repro.durability.snapshot import (
     write_snapshot,
 )
 from repro.durability.wal import WriteAheadLog
+from repro.obs import metrics as obs_metrics
+from repro.obs import spans as obs_spans
 
 if TYPE_CHECKING:
     from repro.durability.faults import FaultSchedule
@@ -272,12 +275,18 @@ class StoreJournal:
         it returns the append is allowed to become visible (and be
         acknowledged), so it must already be durable.
         """
+        journal_start = time.perf_counter()
         self._log({
             "kind": "rows_appended",
             "rows": [dict(row) for row in rows],
             "requests": [[key, int(n)] for key, n in requests],
         })
         self.sync()
+        span = obs_spans.current()
+        if span is not None:
+            span.add_segment(
+                "journal_fsync", time.perf_counter() - journal_start
+            )
 
     def log_constraints(
         self, specs: Sequence[Sequence[Mapping[str, object]]],
@@ -323,6 +332,7 @@ class StoreJournal:
         replay.  Old snapshot versions are deleted last — recovery always
         prefers the newest loadable version anyway.
         """
+        snapshot_start = time.perf_counter()
         words, totals, part_keys, part_counts = store.partial.state_arrays()
         version = self.snapshot_version + 1
         meta = {
@@ -358,6 +368,8 @@ class StoreJournal:
         for old in snapshot_versions(self.directory):
             if old < version:
                 snapshot_path(self.directory, old).unlink(missing_ok=True)
+        obs_metrics.SNAPSHOT_WRITES.inc()
+        obs_metrics.SNAPSHOT_SECONDS.observe(time.perf_counter() - snapshot_start)
         return version
 
     @property
@@ -395,6 +407,7 @@ class StoreJournal:
         from repro.engine.partial import PartialEvidenceSet
         from repro.incremental.store import EvidenceStore
 
+        recovery_start = time.perf_counter()
         directory = Path(directory)
         wal_path = directory / WAL_NAME
         if not wal_path.exists():
@@ -544,6 +557,8 @@ class StoreJournal:
             truncated_bytes=wal.truncated_bytes,
             skipped_snapshots=skipped,
         )
+        obs_metrics.RECOVERY_SECONDS.observe(time.perf_counter() - recovery_start)
+        obs_metrics.RECOVERY_REPLAYED.inc(replayed)
         return RecoveredStore(
             journal=journal, store=store, name=name,
             constraint_specs=constraint_specs, epsilon=epsilon,

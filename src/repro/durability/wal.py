@@ -30,9 +30,12 @@ from __future__ import annotations
 
 import os
 import struct
+import time
 import zlib
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterator
+
+from repro.obs import metrics as obs_metrics
 
 if TYPE_CHECKING:
     from repro.durability.faults import FaultSchedule
@@ -156,6 +159,8 @@ class WriteAheadLog:
         self._end += len(record)
         index = self.n_records
         self.n_records += 1
+        obs_metrics.WAL_RECORDS.inc()
+        obs_metrics.WAL_BYTES.inc(len(record))
         if self.fsync_policy == "always":
             self.sync()
         if self.faults is not None and self.faults.at("wal_record").crash:
@@ -179,9 +184,11 @@ class WriteAheadLog:
                 raise SimulatedCrash("crash during sync")
             if action.fail_sync:
                 raise OSError("injected fsync failure")
+        sync_start = time.perf_counter()
         self._file.flush()
         if self.fsync_policy != "never":
             os.fsync(self._file.fileno())
+        obs_metrics.WAL_FSYNC_SECONDS.observe(time.perf_counter() - sync_start)
 
     def reset(self) -> None:
         """Drop every record (post-snapshot truncation); keeps the magic."""

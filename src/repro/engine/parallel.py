@@ -21,6 +21,7 @@ import math
 import multiprocessing
 import os
 import sys
+import time
 from concurrent.futures import ProcessPoolExecutor
 from typing import TYPE_CHECKING
 
@@ -33,6 +34,7 @@ from repro.engine.scheduler import (
     choose_tile_rows,
     shard_tiles,
 )
+from repro.obs import metrics as obs_metrics
 
 if TYPE_CHECKING:
     from repro.core.predicate_space import PredicateSpace
@@ -60,8 +62,15 @@ def fold_tiles(kernel: TileKernel, tiles: tuple["Tile", ...]) -> PartialEvidence
     partial = PartialEvidenceSet(
         kernel.n_rows, kernel.n_words, kernel.include_participation
     )
+    # Tile-throughput metrics: in pool/cluster workers these land in the
+    # worker process's own registry; the serving layer's default
+    # (store_workers=1, serial in-process folds) reports here directly.
     for tile in tiles:
+        tile_start = time.perf_counter()
         tile_partial = kernel.run(tile)
+        obs_metrics.EVIDENCE_TILE_SECONDS.observe(time.perf_counter() - tile_start)
+        obs_metrics.EVIDENCE_TILES.inc()
+        obs_metrics.EVIDENCE_PAIRS.inc(tile.n_pairs)
         if tile_partial is not None:
             partial.add_tile(tile_partial)
     return partial

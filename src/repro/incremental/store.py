@@ -20,6 +20,7 @@ would change the bit layout under the stored words.
 
 from __future__ import annotations
 
+import time
 from typing import TYPE_CHECKING, Callable, Iterable, Mapping, Sequence
 
 from repro.core.approximation import get_approximation_function
@@ -32,6 +33,9 @@ from repro.core.predicate_space import (
 from repro.engine.kernel import TileKernel
 from repro.engine.scheduler import DEFAULT_MEMORY_BUDGET_BYTES, TileScheduler
 from repro.incremental.delta import DeltaEvidenceBuilder
+from repro.obs import metrics as obs_metrics
+from repro.obs import spans as obs_spans
+from repro.obs.registry import get_registry as obs_get_registry
 
 if TYPE_CHECKING:
     from repro.core.adc_enum import DiscoveredADC, EnumerationStatistics, SelectionStrategy
@@ -207,14 +211,24 @@ class EvidenceStore:
         with the store untouched, so the log never lags the in-memory state
         and the in-memory state never leads the log.
         """
+        span = obs_spans.current()
         staged = self._relation.copy()
         n_before = staged.n_rows
         n_new = staged.append_rows(rows)
         if n_new == 0:
             return 0
+        fold_start = time.perf_counter()
         delta = self._builder.delta_partial(staged, n_before)
+        fold_seconds = time.perf_counter() - fold_start
+        obs_metrics.STORE_FOLD_SECONDS.observe_labels(
+            self._relation.name, value=fold_seconds
+        )
+        if span is not None:
+            span.add_segment("fold", fold_seconds)
         if pre_commit is not None:
+            # The journal hook adds its own "journal_fsync" span segment.
             pre_commit(n_new)
+        commit_start = time.perf_counter()
         # Commit point: nothing below computes, so nothing below fails.
         self._relation = staged
         self._partial.rebase_rows(staged.n_rows)
@@ -223,6 +237,9 @@ class EvidenceStore:
         self._generation += 1
         for listener in self._append_listeners:
             listener(delta, n_before, staged.n_rows)
+        obs_metrics.STORE_APPENDED_ROWS.inc_labels(self._relation.name, amount=n_new)
+        if span is not None:
+            span.add_segment("commit", time.perf_counter() - commit_start)
         return n_new
 
     @classmethod
@@ -321,13 +338,41 @@ class EvidenceStore:
         """
         if isinstance(function, str):
             function = get_approximation_function(function)
+        label = self._relation.name
+        span = obs_spans.current()
+        obs_metrics.MINING_RUNS.inc_labels(label)
+
+        def publish(stats: "EnumerationStatistics") -> None:
+            """Export the live counters; called every ~8k search nodes."""
+            obs_metrics.MINING_NODES_VISITED.set_labels(
+                label, value=stats.recursive_calls
+            )
+            obs_metrics.MINING_NODES_PER_SECOND.set_labels(
+                label, value=stats.nodes_per_second
+            )
+            obs_metrics.MINING_MAX_STACK_DEPTH.set_labels(
+                label, value=stats.extra.get("max_stack_depth", 0.0)
+            )
+
+        finalize_start = time.perf_counter()
+        evidence = self.evidence()
+        finalize_seconds = time.perf_counter() - finalize_start
+        if span is not None:
+            span.add_segment("finalize", finalize_seconds)
+        enumerate_start = time.perf_counter()
         adcs, statistics = run_enumeration(
-            self.evidence(),
+            evidence,
             function,
             epsilon,
             selection=selection,
             max_dc_size=max_dc_size,
+            progress=publish if obs_get_registry().enabled else None,
         )
+        enumerate_seconds = time.perf_counter() - enumerate_start
+        if span is not None:
+            span.add_segment("enumerate", enumerate_seconds)
+        publish(statistics)
+        obs_metrics.MINING_SECONDS.observe_labels(label, value=enumerate_seconds)
         self.last_enumeration_statistics = statistics
         return adcs
 

@@ -1,0 +1,113 @@
+"""Structured JSON logging: one event per line, machine-parseable.
+
+Replaces the serve layer's ad-hoc stderr prints.  Each line is a single
+JSON object with a fixed envelope (``ts``, ``level``, ``event``) plus
+arbitrary event fields (peer address, tenant, op, error code, span
+segments...).  The logger is safe to call from asyncio callbacks and
+executor threads (one lock around the write), filters on a minimum
+level, and never raises — a log line that fails to serialize falls back
+to ``repr`` rather than taking down the server.
+
+The readiness banner on **stdout** (``repro-serve listening on ...``) is a
+wire contract parsed by wrappers and benchmarks; it stays a plain print.
+Everything else goes through here to stderr.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+from typing import IO, Mapping
+
+__all__ = ["JsonLogger", "get_logger", "set_logger"]
+
+_LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+
+
+def _jsonable(value: object) -> object:
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, Mapping):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_jsonable(v) for v in value]
+    item = getattr(value, "item", None)  # numpy scalars
+    if callable(item):
+        try:
+            return item()
+        except Exception:
+            pass
+    return repr(value)
+
+
+class JsonLogger:
+    """Line-oriented JSON event logger with level filtering."""
+
+    def __init__(
+        self,
+        stream: IO[str] | None = None,
+        min_level: str = "info",
+        name: str = "repro",
+    ) -> None:
+        if min_level not in _LEVELS:
+            raise ValueError(f"unknown log level {min_level!r}")
+        self.stream = stream if stream is not None else sys.stderr
+        self.min_level = min_level
+        self.name = name
+        self._lock = threading.Lock()
+
+    def enabled_for(self, level: str) -> bool:
+        return _LEVELS.get(level, 0) >= _LEVELS[self.min_level]
+
+    def log(self, level: str, event: str, **fields: object) -> None:
+        if not self.enabled_for(level):
+            return
+        record: dict[str, object] = {
+            "ts": round(time.time(), 6),
+            "level": level,
+            "logger": self.name,
+            "event": event,
+        }
+        for key, value in fields.items():
+            record[key] = _jsonable(value)
+        try:
+            line = json.dumps(record, separators=(",", ":"), default=repr)
+        except Exception:  # pragma: no cover - double fallback
+            line = json.dumps({"ts": record["ts"], "level": level,
+                               "event": event, "error": "unserializable"})
+        with self._lock:
+            try:
+                self.stream.write(line + "\n")
+                self.stream.flush()
+            except Exception:  # pragma: no cover - closed/broken stream
+                pass
+
+    def debug(self, event: str, **fields: object) -> None:
+        self.log("debug", event, **fields)
+
+    def info(self, event: str, **fields: object) -> None:
+        self.log("info", event, **fields)
+
+    def warning(self, event: str, **fields: object) -> None:
+        self.log("warning", event, **fields)
+
+    def error(self, event: str, **fields: object) -> None:
+        self.log("error", event, **fields)
+
+
+_default_logger = JsonLogger()
+
+
+def get_logger() -> JsonLogger:
+    """The process-wide structured logger (stderr, info level)."""
+    return _default_logger
+
+
+def set_logger(logger: JsonLogger) -> JsonLogger:
+    """Swap the process-wide logger (tests/CLI); returns the previous one."""
+    global _default_logger
+    previous = _default_logger
+    _default_logger = logger
+    return previous

@@ -1,0 +1,76 @@
+"""Prometheus text exposition (format 0.0.4) for a :class:`MetricsRegistry`.
+
+Stdlib-only renderer: ``# HELP`` / ``# TYPE`` headers, escaped label
+values, cumulative ``_bucket{le=...}`` series with the implicit ``+Inf``
+bound, and ``_sum`` / ``_count`` for histograms.  Families with a label
+schema but no children yet still emit their headers, so a scrape always
+shows the full metric surface.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.obs.registry import MetricsRegistry, _HistogramChild
+
+__all__ = ["render_text"]
+
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace("\n", "\\n").replace('"', '\\"')
+    )
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 2**53:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _labels_text(names: tuple[str, ...], values: tuple[str, ...],
+                 extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = [
+        f'{name}="{_escape_label(value)}"'
+        for name, value in list(zip(names, values)) + list(extra)
+    ]
+    if not pairs:
+        return ""
+    return "{" + ",".join(pairs) + "}"
+
+
+def render_text(registry: MetricsRegistry) -> str:
+    lines: list[str] = []
+    for family in registry.families():
+        lines.append(f"# HELP {family.name} {_escape_help(family.help)}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for key, child in family._items():
+            if isinstance(child, _HistogramChild):
+                snap = child.snapshot()
+                for bound, cumulative in snap["buckets"]:  # type: ignore[union-attr]
+                    le = "+Inf" if bound == "+Inf" else _format_value(float(bound))
+                    label_text = _labels_text(
+                        family.labelnames, key, extra=(("le", le),)
+                    )
+                    lines.append(f"{family.name}_bucket{label_text} {cumulative}")
+                label_text = _labels_text(family.labelnames, key)
+                lines.append(
+                    f"{family.name}_sum{label_text} {_format_value(snap['sum'])}"  # type: ignore[arg-type]
+                )
+                lines.append(f"{family.name}_count{label_text} {snap['count']}")
+            else:
+                label_text = _labels_text(family.labelnames, key)
+                lines.append(
+                    f"{family.name}{label_text} {_format_value(child.value)}"  # type: ignore[union-attr]
+                )
+    return "\n".join(lines) + "\n"

@@ -28,6 +28,14 @@ recovered bit-identically on restart (see :mod:`repro.durability`)::
 
     python -m repro.serve --listen 127.0.0.1:7332 --data-dir /var/lib/repro
 
+Observability (see :mod:`repro.obs`): every request lands in the process
+metrics registry (readable via the ``metrics`` op or a Prometheus endpoint
+started with ``--metrics-port``), requests carrying a ``trace`` field get
+a per-segment latency breakdown in their response, and server events are
+structured JSON log lines on stderr::
+
+    python -m repro.serve --listen 127.0.0.1:7332 --metrics-port 9100
+
 Run a server::
 
     python -m repro.serve --listen 127.0.0.1:7332

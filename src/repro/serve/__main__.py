@@ -5,6 +5,11 @@ address (one line on stdout, so wrappers can wait for readiness and parse
 the OS-assigned port when ``:0`` is requested), and serves until SIGTERM
 or SIGINT triggers the graceful drain: pending append flushes commit,
 in-flight requests answer, connections close, then the process exits 0.
+
+When `uvloop <https://uvloop.readthedocs.io>`_ is importable it replaces
+the default event loop (``--no-uvloop`` opts out); the selected loop is
+reported in the structured startup log on stderr.  The readiness banner on
+stdout is a parse contract and stays a plain print either way.
 """
 
 from __future__ import annotations
@@ -15,6 +20,7 @@ import signal
 import sys
 
 from repro.cluster.transport import parse_address
+from repro.obs.logging import JsonLogger, get_logger, set_logger
 from repro.serve.server import ViolationServer
 
 
@@ -73,10 +79,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="idempotency window per store, in keyed appends "
              "(default %(default)s)",
     )
+    parser.add_argument(
+        "--metrics-port", type=int, default=None, metavar="PORT",
+        help="serve Prometheus text exposition on this port "
+             "(0 lets the OS pick; default: no metrics endpoint)",
+    )
+    parser.add_argument(
+        "--slow-op-ms", type=float, default=1000.0, metavar="MS",
+        help="log and count requests slower than this (default %(default)s)",
+    )
+    parser.add_argument(
+        "--log-level", choices=("debug", "info", "warning", "error"),
+        default="info",
+        help="minimum structured-log level on stderr (default %(default)s)",
+    )
+    parser.add_argument(
+        "--no-uvloop", action="store_true",
+        help="stay on the default asyncio event loop even if uvloop "
+             "is importable",
+    )
     return parser
 
 
-async def _amain(args: argparse.Namespace) -> int:
+def _install_uvloop(disabled: bool) -> str:
+    """Install uvloop's event-loop policy when available; name the loop used.
+
+    uvloop is optional (never a hard dependency): the import is attempted
+    and any failure silently keeps the stdlib loop.
+    """
+    if disabled:
+        return "asyncio"
+    try:
+        import uvloop
+    except Exception:  # noqa: BLE001 - absence or broken install both fine
+        return "asyncio"
+    uvloop.install()
+    return "uvloop"
+
+
+async def _amain(args: argparse.Namespace, loop_name: str) -> int:
+    log = get_logger()
     host, port = parse_address(args.listen)
     server = ViolationServer(
         host, port,
@@ -91,9 +133,20 @@ async def _amain(args: argparse.Namespace) -> int:
         max_stores=args.max_stores,
         max_rows_per_store=args.max_rows_per_store,
         dedup_window=args.dedup_window,
+        metrics_port=args.metrics_port,
+        slow_op_seconds=args.slow_op_ms / 1000.0,
     )
+    log.info("event_loop_selected", loop=loop_name)
     host, port = await server.start()
+    # Parse contract: wrappers and benchmarks wait for this stdout line.
     print(f"repro-serve listening on {host}:{port}", flush=True)
+    metrics_address = server.metrics_address
+    if metrics_address is not None:
+        print(
+            f"repro-serve metrics on "
+            f"{metrics_address[0]}:{metrics_address[1]}",
+            flush=True,
+        )
 
     loop = asyncio.get_running_loop()
     for signum in (signal.SIGTERM, signal.SIGINT):
@@ -101,14 +154,17 @@ async def _amain(args: argparse.Namespace) -> int:
             signum, lambda: asyncio.ensure_future(server.stop())
         )
     await server.serve_forever()
+    log.info("server_stopped", host=host, port=port)
     print("repro-serve drained and stopped", flush=True)
     return 0
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    set_logger(JsonLogger(min_level=args.log_level))
+    loop_name = _install_uvloop(args.no_uvloop)
     try:
-        return asyncio.run(_amain(args))
+        return asyncio.run(_amain(args, loop_name))
     except KeyboardInterrupt:  # pragma: no cover - direct Ctrl-C race
         return 130
 

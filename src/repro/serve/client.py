@@ -31,6 +31,7 @@ import time
 import uuid
 from typing import Iterable, Mapping, Sequence
 
+from repro.obs.spans import new_trace_id
 from repro.serve import protocol
 from repro.serve.protocol import ServeError, ServeTimeout
 
@@ -232,6 +233,7 @@ class ServeClient:
         store: str,
         rows: Iterable[Row],
         request_key: str | None = None,
+        trace: "bool | str" = False,
     ) -> dict[str, object]:
         """Stream a batch of rows into a store (coalesced server-side).
 
@@ -240,13 +242,20 @@ class ServeClient:
         lost acknowledgment, server restart — apply exactly once and
         return the original result, so keyed appends are safely
         idempotent and participate in the client's retry loop.
+
+        ``trace=True`` (or a caller-chosen trace-id string) asks the server
+        to decompose this request's latency; the response then carries a
+        ``"trace"`` object with per-segment seconds (queue, fold,
+        journal_fsync, commit, ack).
         """
         if request_key is None:
             request_key = uuid.uuid4().hex
-        return self.request(
-            "append", _idempotent=True,
-            store=store, rows=list(rows), request_key=request_key,
-        )
+        fields: dict[str, object] = {
+            "store": store, "rows": list(rows), "request_key": request_key,
+        }
+        if trace:
+            fields["trace"] = trace if isinstance(trace, str) else new_trace_id()
+        return self.request("append", _idempotent=True, **fields)
 
     def remine(
         self,
@@ -255,8 +264,15 @@ class ServeClient:
         function: str = "f1",
         max_dc_size: int | None = None,
         limit: int | None = None,
+        trace: "bool | str" = False,
     ) -> dict[str, object]:
-        """Mine ADCs on the store's current state and install them."""
+        """Mine ADCs on the store's current state and install them.
+
+        The response's ``"enumeration"`` object carries the run's search
+        statistics (recursive calls, prunes, outputs, nodes/second);
+        ``trace`` additionally requests the finalize/enumerate latency
+        split under ``"trace"``.
+        """
         fields: dict[str, object] = {
             "store": store, "epsilon": epsilon, "function": function,
         }
@@ -264,6 +280,8 @@ class ServeClient:
             fields["max_dc_size"] = max_dc_size
         if limit is not None:
             fields["limit"] = limit
+        if trace:
+            fields["trace"] = trace if isinstance(trace, str) else new_trace_id()
         return self.request("remine", **fields)
 
     def declare(
@@ -322,3 +340,12 @@ class ServeClient:
     def stats(self) -> dict[str, object]:
         """Server-wide and per-store operational statistics."""
         return self.request("stats", _idempotent=True)
+
+    def metrics(self, format: str = "json") -> dict[str, object]:
+        """The server process's metrics registry.
+
+        ``format="json"`` returns the structured snapshot under
+        ``"metrics"``; ``format="text"`` returns the Prometheus text
+        exposition under ``"text"``.
+        """
+        return self.request("metrics", _idempotent=True, format=format)

@@ -12,6 +12,14 @@ Ids are per-connection and chosen by the client; the server answers every
 request exactly once, in arrival order, so a pipelining client can match
 responses positionally or by id.
 
+A request may additionally carry ``"trace"`` — a trace-id string (or
+``true`` for a server-generated id).  The server then times the request
+across layers and attaches ``{"trace": {"trace_id", "op", "seconds",
+"segments": {...}}}`` to the ok response, where the disjoint segment
+seconds (e.g. ``queue``/``fold``/``journal_fsync``/``commit``/``ack`` for
+an append) sum to the request's server-side wall latency.  The ``metrics``
+op dumps the process metrics registry (JSON snapshot or Prometheus text).
+
 The module is transport-agnostic on purpose: :func:`encode_frame` /
 :func:`decode_payload` do the byte work, and the tiny sync reader
 (:func:`read_frame`) serves the blocking client while the asyncio server

@@ -30,9 +30,13 @@ commits serialized against the heavyweight read ops.
 from __future__ import annotations
 
 import asyncio
+import time
 from concurrent.futures import Executor
 from typing import TYPE_CHECKING, Mapping, Sequence
 
+from repro.obs import metrics as obs_metrics
+from repro.obs import spans as obs_spans
+from repro.obs.spans import Span
 from repro.serve.protocol import QuotaExceeded
 
 if TYPE_CHECKING:
@@ -40,6 +44,10 @@ if TYPE_CHECKING:
     from repro.incremental.store import EvidenceStore
 
 Row = Mapping[str, object]
+
+# One parked append request: rows, waiter, idempotency key, optional trace
+# span, and the perf_counter instant it was parked (for the queue segment).
+_Entry = tuple[list[Row], asyncio.Future, "str | None", "Span | None", float]
 
 
 class AppendScheduler:
@@ -100,7 +108,8 @@ class AppendScheduler:
         self.max_rows = None if max_rows is None else int(max_rows)
         self.journal = journal
         self.dedup = dedup
-        self._pending: list[tuple[list[Row], asyncio.Future, str | None]] = []
+        self._store_label = store.relation.name
+        self._pending: list[_Entry] = []
         self._pending_rows = 0
         self._space: asyncio.Condition = asyncio.Condition()
         self._flusher: asyncio.Task | None = None
@@ -119,7 +128,10 @@ class AppendScheduler:
     # Request side
     # ------------------------------------------------------------------
     async def append(
-        self, rows: Sequence[Row], request_key: str | None = None
+        self,
+        rows: Sequence[Row],
+        request_key: str | None = None,
+        span: Span | None = None,
     ) -> dict[str, object]:
         """Park ``rows`` for the next flush; resolves once committed.
 
@@ -164,8 +176,13 @@ class AppendScheduler:
             while self._pending_rows >= self.max_pending_rows:
                 await self._space.wait()
             future: asyncio.Future = asyncio.get_running_loop().create_future()
-            self._pending.append((rows, future, request_key))
+            self._pending.append(
+                (rows, future, request_key, span, time.perf_counter())
+            )
             self._pending_rows += len(rows)
+            obs_metrics.SERVE_PENDING_ROWS.set_labels(
+                self._store_label, value=self._pending_rows
+            )
             if request_key is not None:
                 self._inflight[request_key] = future
             if self._flusher is None or self._flusher.done():
@@ -197,6 +214,9 @@ class AppendScheduler:
             async with self._space:
                 batch, self._pending = self._pending, []
                 self._pending_rows = 0
+                obs_metrics.SERVE_PENDING_ROWS.set_labels(
+                    self._store_label, value=0
+                )
                 self._space.notify_all()
             if batch:
                 async with self._lock:
@@ -210,7 +230,7 @@ class AppendScheduler:
                         future.set_exception(outcome)
                     else:
                         future.set_result(outcome)
-                for _, future, key in batch:
+                for _, future, key, _, _ in batch:
                     if key is not None and self._inflight.get(key) is future:
                         del self._inflight[key]
             async with self._space:
@@ -242,9 +262,7 @@ class AppendScheduler:
             if key is not None:
                 self.dedup.record(key, dict(result_for, appended=int(n_rows)))
 
-    def _commit(
-        self, batch: list[tuple[list[Row], asyncio.Future, str | None]]
-    ) -> list[tuple[asyncio.Future, object]]:
+    def _commit(self, batch: list[_Entry]) -> list[tuple[asyncio.Future, object]]:
         """Apply one flush on the executor thread; never raises.
 
         The combined commit is tried first (one fold, one journal record,
@@ -255,24 +273,43 @@ class AppendScheduler:
         its own record, keeping replayed generation numbers in step).
         """
         store = self._store
+        label = self._store_label
         self.flushes += 1
         self.coalesced_requests += len(batch)
-        combined: list[Row] = [row for rows, _, _ in batch for row in rows]
-        requests = [[key, len(rows)] for rows, _, key in batch]
+        commit_start = time.perf_counter()
+        traced = [span for _, _, _, span, _ in batch if span is not None]
+        for _, _, _, span, enqueued_at in batch:
+            if span is not None:
+                span.add_segment("queue", commit_start - enqueued_at)
+        combined: list[Row] = [row for rows, _, _, _, _ in batch for row in rows]
+        requests = [[key, len(rows)] for rows, _, key, _, _ in batch]
+        obs_metrics.SERVE_FLUSHES.inc_labels(label)
+        obs_metrics.SERVE_BATCH_ROWS.observe_labels(label, value=len(combined))
+        obs_metrics.SERVE_BATCH_REQUESTS.observe_labels(label, value=len(batch))
+        # One ambient span collects the flush's fold/fsync/commit segments;
+        # they are copied to every traced flush-mate (each waited on the
+        # whole combined commit, so the decomposition is theirs too).
+        collector = Span("flush", op="flush", store=label) if traced else None
         try:
-            store.append(combined, pre_commit=self._journal_hook(combined, requests))
+            with obs_spans.use(collector):
+                store.append(
+                    combined, pre_commit=self._journal_hook(combined, requests)
+                )
         except Exception as combined_error:
             if len(batch) == 1:
                 # The combined batch *is* the lone request; the failure is
                 # its answer (the atomic append left the store untouched).
                 return [(batch[0][1], combined_error)]
             self.fallback_flushes += 1
+            obs_metrics.SERVE_FALLBACK_FLUSHES.inc_labels(label)
             outcomes: list[tuple[asyncio.Future, object]] = []
-            for rows, future, key in batch:
+            for rows, future, key, span, _ in batch:
                 try:
-                    appended = store.append(
-                        rows, pre_commit=self._journal_hook(rows, [[key, len(rows)]])
-                    )
+                    with obs_spans.use(span):
+                        appended = store.append(
+                            rows,
+                            pre_commit=self._journal_hook(rows, [[key, len(rows)]]),
+                        )
                 except Exception as error:
                     outcomes.append((future, error))
                 else:
@@ -287,6 +324,12 @@ class AppendScheduler:
                     outcomes.append((future, result))
             self._maybe_snapshot()
             return outcomes
+        if collector is not None:
+            for span in traced:
+                for name, seconds in collector.segments.items():
+                    span.add_segment(name, seconds)
+                for name, seconds in collector.detail.items():
+                    span.add_detail(name, seconds)
         self.appended_rows += len(combined)
         base = {
             "n_rows": store.n_rows,
@@ -297,7 +340,7 @@ class AppendScheduler:
         self._maybe_snapshot()
         return [
             (future, {"appended": len(rows), **base})
-            for rows, future, _ in batch
+            for rows, future, _, _, _ in batch
         ]
 
     def _maybe_snapshot(self) -> None:

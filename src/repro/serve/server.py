@@ -55,6 +55,13 @@ from repro.durability.journal import (
 )
 from repro.incremental.serve import ViolationService
 from repro.incremental.store import EvidenceStore
+from repro.obs import metrics as obs_metrics
+from repro.obs import spans as obs_spans
+from repro.obs.httpd import MetricsHTTPServer
+from repro.obs.logging import get_logger
+from repro.obs.prometheus import render_text
+from repro.obs.registry import get_registry as obs_get_registry
+from repro.obs.spans import Span
 from repro.serve import protocol
 from repro.serve.counters import ViolationCounters
 from repro.serve.scheduler import AppendScheduler
@@ -214,6 +221,15 @@ class ViolationServer:
     dedup_window:
         Capacity of each store's idempotency window (keyed append
         retries; active regardless of ``data_dir``).
+    metrics_port:
+        When set, a stdlib HTTP listener on ``(host, metrics_port)``
+        serves the process metrics registry in Prometheus text
+        exposition (``GET /metrics``); ``0`` lets the OS pick (read
+        :attr:`metrics_address` after :meth:`start`).
+    slow_op_seconds:
+        Requests slower than this are counted in
+        ``repro_serve_slow_ops_total`` and logged (with the span's
+        segment breakdown when the request was traced).
     """
 
     def __init__(
@@ -233,6 +249,8 @@ class ViolationServer:
         max_stores: int | None = None,
         max_rows_per_store: int | None = None,
         dedup_window: int = DEFAULT_DEDUP_WINDOW,
+        metrics_port: int | None = None,
+        slow_op_seconds: float = 1.0,
     ) -> None:
         self.host = host
         self.port = int(port)
@@ -250,6 +268,10 @@ class ViolationServer:
             None if max_rows_per_store is None else int(max_rows_per_store)
         )
         self.dedup_window = int(dedup_window)
+        self.metrics_port = None if metrics_port is None else int(metrics_port)
+        self.slow_op_seconds = float(slow_op_seconds)
+        self._metrics_httpd: MetricsHTTPServer | None = None
+        self._log = get_logger()
         self.recovery_failures: dict[str, str] = {}
         self._executor = ThreadPoolExecutor(
             max_workers=max(2, int(executor_threads)),
@@ -276,6 +298,7 @@ class ViolationServer:
             "tuple_scores": self._op_tuple_scores,
             "set_epsilon": self._op_set_epsilon,
             "stats": self._op_stats,
+            "metrics": self._op_metrics,
         }
 
     # ------------------------------------------------------------------
@@ -301,6 +324,20 @@ class ViolationServer:
             self._handle_connection, self.host, self.port
         )
         self.host, self.port = self._server.sockets[0].getsockname()[:2]
+        if self.metrics_port is not None:
+            self._metrics_httpd = MetricsHTTPServer(
+                obs_get_registry(), self.host, self.metrics_port
+            )
+            await self._metrics_httpd.start()
+            self._log.info(
+                "metrics_listening",
+                host=self._metrics_httpd.host, port=self._metrics_httpd.port,
+            )
+        self._log.info(
+            "server_listening", host=self.host, port=self.port,
+            stores=sorted(k for k, v in self._stores.items() if v is not None),
+            durable=self.data_dir is not None,
+        )
         return self.host, self.port
 
     def _recover_all(self) -> None:
@@ -319,6 +356,10 @@ class ViolationServer:
                 )
             except RecoveryError as error:
                 self.recovery_failures[child.name] = str(error)
+                obs_metrics.RECOVERY_STORES.inc_labels("failed")
+                self._log.error(
+                    "recovery_failed", store=child.name, error=str(error)
+                )
                 continue
             dedup = DedupWindow(self.dedup_window)
             dedup.load(recovered.dedup_entries)
@@ -351,13 +392,30 @@ class ViolationServer:
                     self.recovery_failures[child.name] = (
                         f"constraints failed to reinstall: {error}"
                     )
+                    obs_metrics.RECOVERY_STORES.inc_labels("failed")
+                    self._log.error(
+                        "recovery_failed", store=child.name,
+                        error=f"constraints failed to reinstall: {error}",
+                    )
                     continue
             self._stores[recovered.name] = state
+            obs_metrics.RECOVERY_STORES.inc_labels("recovered")
+            self._log.info(
+                "store_recovered", store=recovered.name,
+                n_rows=recovered.store.n_rows, **(state.recovery or {}),
+            )
 
     @property
     def address(self) -> tuple[str, int]:
         """The bound listen address."""
         return self.host, self.port
+
+    @property
+    def metrics_address(self) -> tuple[str, int] | None:
+        """The Prometheus endpoint's ``(host, port)``, if one is serving."""
+        if self._metrics_httpd is None:
+            return None
+        return self._metrics_httpd.address
 
     async def serve_forever(self) -> None:
         """Block until :meth:`stop` completes (the ``__main__`` loop)."""
@@ -378,6 +436,8 @@ class ViolationServer:
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
+        if self._metrics_httpd is not None:
+            await self._metrics_httpd.stop()
         for state in list(self._stores.values()):
             if state is not None:
                 await state.scheduler.drain()
@@ -400,6 +460,10 @@ class ViolationServer:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         self._connections.add(asyncio.current_task())
+        peer = writer.get_extra_info("peername")
+        obs_metrics.SERVE_CONNECTIONS_TOTAL.inc()
+        obs_metrics.SERVE_CONNECTIONS.inc()
+        self._log.debug("connection_open", peer=peer)
         queue: asyncio.Queue = asyncio.Queue(maxsize=self.max_pipeline)
         worker = asyncio.create_task(self._connection_worker(queue, writer))
         try:
@@ -423,6 +487,8 @@ class ViolationServer:
             except asyncio.CancelledError:
                 worker.cancel()
             self._connections.discard(asyncio.current_task())
+            obs_metrics.SERVE_CONNECTIONS.dec()
+            self._log.debug("connection_closed", peer=peer)
 
     async def _connection_worker(
         self, queue: asyncio.Queue, writer: asyncio.StreamWriter
@@ -451,37 +517,90 @@ class ViolationServer:
                 pass
 
     async def _dispatch(self, message: dict) -> dict:
-        """Route one request; every failure becomes an error frame."""
+        """Route one request; every failure becomes an error frame.
+
+        Every dispatch lands in ``repro_serve_requests_total{op,store,code}``
+        and the per-op latency histogram.  A request carrying a ``trace``
+        field gets a :class:`~repro.obs.spans.Span` (under ``"_span"``, an
+        internal key handlers pick up); its segment breakdown rides back on
+        the ok response under ``"trace"``, with the unattributed serve-path
+        remainder reported as the ``ack`` segment.
+        """
         request_id = message.get("id")
         op = message.get("op")
         self.requests_served += 1
+        started = time.perf_counter()
+        op_label = op if isinstance(op, str) else repr(op)
+        store_field = message.get("store")
+        store_label = store_field if isinstance(store_field, str) else ""
+        span: Span | None = None
+        trace = message.get("trace")
+        if trace:
+            trace_id = trace if isinstance(trace, str) else obs_spans.new_trace_id()
+            span = Span(trace_id, op=op_label, store=store_label or None)
+            message["_span"] = span
+        code = "ok"
         handler = self._handlers.get(op)
         if handler is None:
-            return protocol.error_response(
+            code = protocol.UNKNOWN_OP
+            response = protocol.error_response(
                 request_id, protocol.UNKNOWN_OP,
                 f"unknown op {op!r}; supported: {sorted(self._handlers)}",
             )
-        if self._stopping and op not in ("ping", "stats"):
-            return protocol.error_response(
+        elif self._stopping and op not in ("ping", "stats", "metrics"):
+            code = protocol.SHUTTING_DOWN
+            response = protocol.error_response(
                 request_id, protocol.SHUTTING_DOWN, "server is draining"
             )
-        try:
-            fields = await handler(message)
-        except _RequestError as error:
-            return protocol.error_response(request_id, error.code, str(error))
-        except protocol.QuotaExceeded as error:
-            return protocol.error_response(
-                request_id, protocol.QUOTA_EXCEEDED, str(error)
+        else:
+            try:
+                fields = await handler(message)
+                response = protocol.ok_response(request_id, **fields)
+            except _RequestError as error:
+                code = error.code
+                response = protocol.error_response(
+                    request_id, error.code, str(error)
+                )
+            except protocol.QuotaExceeded as error:
+                code = protocol.QUOTA_EXCEEDED
+                response = protocol.error_response(
+                    request_id, protocol.QUOTA_EXCEEDED, str(error)
+                )
+            except (KeyError, ValueError, TypeError, IndexError) as error:
+                code = protocol.BAD_REQUEST
+                response = protocol.error_response(
+                    request_id, protocol.BAD_REQUEST,
+                    f"{type(error).__name__}: {error}",
+                )
+            except Exception as error:  # noqa: BLE001 - must answer, not die
+                code = protocol.INTERNAL
+                response = protocol.error_response(
+                    request_id, protocol.INTERNAL,
+                    f"{type(error).__name__}: {error}",
+                )
+                self._log.error(
+                    "request_failed", op=op_label, store=store_label,
+                    code=code, error=f"{type(error).__name__}: {error}",
+                )
+        duration = time.perf_counter() - started
+        obs_metrics.SERVE_REQUESTS.inc_labels(op_label, store_label, code)
+        obs_metrics.SERVE_REQUEST_SECONDS.observe_labels(
+            op_label, value=duration
+        )
+        if span is not None:
+            span.add_segment("ack", duration - span.accounted())
+            trace_payload = span.jsonable()
+            trace_payload["seconds"] = round(duration, 9)
+            if code == "ok":
+                response["trace"] = trace_payload
+        if duration >= self.slow_op_seconds:
+            obs_metrics.SERVE_SLOW_OPS.inc_labels(op_label)
+            self._log.warning(
+                "slow_op", op=op_label, store=store_label, code=code,
+                seconds=round(duration, 6),
+                segments=None if span is None else span.jsonable()["segments"],
             )
-        except (KeyError, ValueError, TypeError, IndexError) as error:
-            return protocol.error_response(
-                request_id, protocol.BAD_REQUEST, f"{type(error).__name__}: {error}"
-            )
-        except Exception as error:  # noqa: BLE001 - must answer, not die
-            return protocol.error_response(
-                request_id, protocol.INTERNAL, f"{type(error).__name__}: {error}"
-            )
-        return protocol.ok_response(request_id, **fields)
+        return response
 
     # ------------------------------------------------------------------
     # Request helpers
@@ -526,11 +645,15 @@ class ViolationServer:
             )
         return dc
 
-    async def _run_locked(self, state: StoreState, fn):
-        """Run blocking store work on the executor under the store's lock."""
+    async def _run_locked(self, state: StoreState, fn, span: Span | None = None):
+        """Run blocking store work on the executor under the store's lock.
+
+        ``span`` (when set) becomes the ambient trace span on the executor
+        thread for the duration of ``fn`` — the hop would otherwise drop it.
+        """
         async with state.lock:
             return await asyncio.get_running_loop().run_in_executor(
-                self._executor, fn
+                self._executor, obs_spans.bound(span, fn)
             )
 
     def _install_constraints(
@@ -699,7 +822,9 @@ class ViolationServer:
             raise _RequestError(
                 protocol.BAD_REQUEST, "'request_key' must be a string"
             )
-        result = await state.scheduler.append(rows, request_key=request_key)
+        result = await state.scheduler.append(
+            rows, request_key=request_key, span=message.get("_span")
+        )
         return {"store": state.name, **result}
 
     async def _op_set_epsilon(self, message: Mapping[str, object]) -> dict:
@@ -735,11 +860,26 @@ class ViolationServer:
             )
             if limit is not None:
                 adcs = adcs[: int(limit)]
-            return {**self._install_constraints(state, adcs, epsilon,
-                                                source="mined"),
-                    "mined": len(adcs)}
+            fields = {**self._install_constraints(state, adcs, epsilon,
+                                                  source="mined"),
+                      "mined": len(adcs)}
+            stats = state.store.last_enumeration_statistics
+            if stats is not None:
+                fields["enumeration"] = {
+                    "recursive_calls": stats.recursive_calls,
+                    "hit_branches": stats.hit_branches,
+                    "skip_branches": stats.skip_branches,
+                    "pruned_by_willcover": stats.pruned_by_willcover,
+                    "pruned_by_criticality": stats.pruned_by_criticality,
+                    "minimality_checks": stats.minimality_checks,
+                    "outputs": stats.outputs,
+                    "elapsed_seconds": stats.elapsed_seconds,
+                    "nodes_per_second": stats.nodes_per_second,
+                    "extra": dict(stats.extra),
+                }
+            return fields
 
-        return await self._run_locked(state, mine)
+        return await self._run_locked(state, mine, span=message.get("_span"))
 
     async def _op_declare(self, message: Mapping[str, object]) -> dict:
         """Install hand-written DCs (each a list of predicate specs)."""
@@ -942,6 +1082,32 @@ class ViolationServer:
             }
         return fields
 
+    async def _op_metrics(self, message: Mapping[str, object]) -> dict:
+        """Dump the process metrics registry over the wire protocol.
+
+        ``format: "json"`` (default) returns the structured snapshot;
+        ``format: "text"`` returns the same Prometheus exposition the HTTP
+        endpoint serves, for clients without a scraper.
+        """
+        registry = obs_get_registry()
+        format_field = message.get("format", "json")
+        if format_field == "text":
+            return {
+                "format": "text",
+                "enabled": registry.enabled,
+                "text": render_text(registry),
+            }
+        if format_field != "json":
+            raise _RequestError(
+                protocol.BAD_REQUEST,
+                f"unknown format {format_field!r} (json|text)",
+            )
+        return {
+            "format": "json",
+            "enabled": registry.enabled,
+            "metrics": registry.snapshot(),
+        }
+
 
 class ServerThread:
     """A :class:`ViolationServer` on a private loop in a daemon thread.
@@ -985,6 +1151,11 @@ class ServerThread:
     def address(self) -> tuple[str, int]:
         """The listening ``(host, port)``."""
         return self._server.address
+
+    @property
+    def metrics_address(self) -> tuple[str, int] | None:
+        """The Prometheus endpoint's address, when ``metrics_port`` was set."""
+        return self._server.metrics_address
 
     @property
     def server(self) -> ViolationServer:
