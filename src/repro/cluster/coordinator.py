@@ -124,6 +124,11 @@ class ClusterCoordinator:
         # tiles for two tenants from different executor threads — queue
         # here instead of interleaving.
         self._submit_lock = threading.Lock()
+        # Last transport byte totals pushed to the cumulative byte counters
+        # (deltas only: dead-worker removal can shrink the live sums).
+        self._bytes_metrics_lock = threading.Lock()
+        self._bytes_sent_reported = 0
+        self._bytes_received_reported = 0
         self._listener: socket.socket | None = None
         self._threads: list[threading.Thread] = []
 
@@ -337,8 +342,16 @@ class ClusterCoordinator:
         finally:
             elapsed = time.perf_counter() - submit_start
             obs_metrics.CLUSTER_SUBMIT_SECONDS.observe(elapsed)
-            obs_metrics.CLUSTER_BYTES_SENT.set(self.bytes_sent)
-            obs_metrics.CLUSTER_BYTES_RECEIVED.set(self.bytes_received)
+            with self._bytes_metrics_lock:
+                sent, received = self.bytes_sent, self.bytes_received
+                obs_metrics.CLUSTER_BYTES_SENT.inc(
+                    max(0, sent - self._bytes_sent_reported)
+                )
+                obs_metrics.CLUSTER_BYTES_RECEIVED.inc(
+                    max(0, received - self._bytes_received_reported)
+                )
+                self._bytes_sent_reported = sent
+                self._bytes_received_reported = received
             span = obs_spans.current()
             if span is not None:
                 # Nested inside the caller's fold segment — detail, not a

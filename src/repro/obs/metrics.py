@@ -152,13 +152,13 @@ CLUSTER_SUBMIT_SECONDS = _r.histogram(
     "repro_cluster_submit_seconds",
     "End-to-end coordinator submit (dispatch to merged result) latency.",
 )
-CLUSTER_BYTES_SENT = _r.gauge(
-    "repro_cluster_bytes_sent",
-    "Bytes written to worker transports since coordinator start.",
+CLUSTER_BYTES_SENT = _r.counter(
+    "repro_cluster_bytes_sent_total",
+    "Bytes written to worker transports.",
 )
-CLUSTER_BYTES_RECEIVED = _r.gauge(
-    "repro_cluster_bytes_received",
-    "Bytes read from worker transports since coordinator start.",
+CLUSTER_BYTES_RECEIVED = _r.counter(
+    "repro_cluster_bytes_received_total",
+    "Bytes read from worker transports.",
 )
 
 # --------------------------------------------------------------------------

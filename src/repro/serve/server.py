@@ -533,6 +533,13 @@ class ViolationServer:
         op_label = op if isinstance(op, str) else repr(op)
         store_field = message.get("store")
         store_label = store_field if isinstance(store_field, str) else ""
+        # Stores the request could legitimately name at arrival time; a
+        # drop_store removes the entry before metrics are recorded below,
+        # so remember that the name was real.
+        store_known = isinstance(store_field, str) and store_field in self._stores
+        # "_span" is a reserved internal key: drop whatever the client sent
+        # so handlers can only ever see a genuine Span installed here.
+        message.pop("_span", None)
         span: Span | None = None
         trace = message.get("trace")
         if trace:
@@ -540,7 +547,7 @@ class ViolationServer:
             span = Span(trace_id, op=op_label, store=store_label or None)
             message["_span"] = span
         code = "ok"
-        handler = self._handlers.get(op)
+        handler = self._handlers.get(op) if isinstance(op, str) else None
         if handler is None:
             code = protocol.UNKNOWN_OP
             response = protocol.error_response(
@@ -583,9 +590,22 @@ class ViolationServer:
                     code=code, error=f"{type(error).__name__}: {error}",
                 )
         duration = time.perf_counter() - started
-        obs_metrics.SERVE_REQUESTS.inc_labels(op_label, store_label, code)
+        # Metric labels must stay low-cardinality: only ops/stores the
+        # server actually knows get their own series, everything a client
+        # invented collapses into a sentinel (create_store makes the name
+        # real by now, hence the second membership check).
+        metric_op = op if handler is not None else "_unknown"
+        if store_field is None:
+            metric_store = ""
+        elif store_known or (
+            isinstance(store_field, str) and store_field in self._stores
+        ):
+            metric_store = store_field
+        else:
+            metric_store = "_unknown"
+        obs_metrics.SERVE_REQUESTS.inc_labels(metric_op, metric_store, code)
         obs_metrics.SERVE_REQUEST_SECONDS.observe_labels(
-            op_label, value=duration
+            metric_op, value=duration
         )
         if span is not None:
             span.add_segment("ack", duration - span.accounted())
@@ -594,7 +614,7 @@ class ViolationServer:
             if code == "ok":
                 response["trace"] = trace_payload
         if duration >= self.slow_op_seconds:
-            obs_metrics.SERVE_SLOW_OPS.inc_labels(op_label)
+            obs_metrics.SERVE_SLOW_OPS.inc_labels(metric_op)
             self._log.warning(
                 "slow_op", op=op_label, store=store_label, code=code,
                 seconds=round(duration, 6),
@@ -623,6 +643,17 @@ class ViolationServer:
                 "run 'remine' or 'declare' first",
             )
         return state.service
+
+    @staticmethod
+    def _span_field(message: Mapping[str, object]) -> Span | None:
+        """The request's Span, or None — never a client-smuggled value.
+
+        ``_dispatch`` already strips inbound ``"_span"`` keys; this guard
+        keeps a stray dict from reaching span-consuming code even if a new
+        entry point forgets to.
+        """
+        span = message.get("_span")
+        return span if isinstance(span, Span) else None
 
     @staticmethod
     def _rows_field(message: Mapping[str, object]) -> list[dict]:
@@ -823,7 +854,7 @@ class ViolationServer:
                 protocol.BAD_REQUEST, "'request_key' must be a string"
             )
         result = await state.scheduler.append(
-            rows, request_key=request_key, span=message.get("_span")
+            rows, request_key=request_key, span=self._span_field(message)
         )
         return {"store": state.name, **result}
 
@@ -879,7 +910,7 @@ class ViolationServer:
                 }
             return fields
 
-        return await self._run_locked(state, mine, span=message.get("_span"))
+        return await self._run_locked(state, mine, span=self._span_field(message))
 
     async def _op_declare(self, message: Mapping[str, object]) -> dict:
         """Install hand-written DCs (each a list of predicate specs)."""

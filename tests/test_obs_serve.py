@@ -110,6 +110,44 @@ class TestMetricsOp:
                 )
 
 
+class TestRequestHygiene:
+    def test_client_supplied_span_key_is_stripped(self, tmp_path):
+        """A smuggled ``_span`` field must not reach the append scheduler.
+
+        Regression: a raw ``{"op": "append", ..., "_span": {}}`` request
+        used to hand a plain dict to the flush loop as the trace span,
+        crashing it and stranding every co-batched append.
+        """
+        with ServerThread(data_dir=tmp_path) as (host, port):
+            with ServeClient(host, port) as client:
+                client.create_store("hy1", random_rows(20, seed=11))
+                smuggled = client.request(
+                    "append", store="hy1",
+                    rows=random_rows(5, seed=12), _span={"bogus": 1},
+                )
+                assert smuggled["appended"] == 5
+                # The flush loop survived: later appends still commit.
+                follow_up = client.append("hy1", random_rows(5, seed=13))
+                assert follow_up["appended"] == 5
+
+    def test_invented_ops_and_stores_collapse_to_sentinel_labels(self):
+        from repro.serve import ServeError
+
+        with ServerThread() as (host, port):
+            with ServeClient(host, port) as client:
+                with pytest.raises(ServeError):
+                    client.request("hy_no_such_op_x")
+                with pytest.raises(ServeError):
+                    client.request("report", store="hy_no_such_store_y")
+                samples = client.metrics()["metrics"][
+                    "repro_serve_requests_total"]["samples"]
+                ops = {s["labels"]["op"] for s in samples}
+                stores = {s["labels"]["store"] for s in samples}
+                assert "_unknown" in ops and "_unknown" in stores
+                assert "hy_no_such_op_x" not in ops
+                assert "hy_no_such_store_y" not in stores
+
+
 class TestPrometheusEndpoint:
     def test_exposition_well_formed_and_covers_subsystems(self, tmp_path):
         thread = ServerThread(data_dir=tmp_path, metrics_port=0)

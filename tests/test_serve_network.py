@@ -11,6 +11,7 @@ the same data.  The push-based read path additionally asserts the
 from __future__ import annotations
 
 import asyncio
+import os
 import re
 import signal
 import socket
@@ -521,10 +522,18 @@ class TestGracefulDrain:
 class TestMainEntryPoint:
     def test_boot_serve_sigterm_drain(self, mined):
         relation, _, _ = mined
+        # The subprocess does not inherit pytest's pythonpath ini; point it
+        # at the same repro package this process imported.
+        env = dict(os.environ)
+        src = os.path.dirname(os.path.dirname(sys.modules["repro"].__file__))
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (src, env.get("PYTHONPATH")) if p
+        )
         proc = subprocess.Popen(
             [sys.executable, "-m", "repro.serve", "--listen", "127.0.0.1:0"],
             stdout=subprocess.PIPE,
             text=True,
+            env=env,
         )
         try:
             banner = proc.stdout.readline()
