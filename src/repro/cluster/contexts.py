@@ -46,6 +46,15 @@ class TileFoldContext:
         start, stop = task
         return fold_tiles(self.kernel, self.tiles[start:stop])
 
+    def describe(self, task: tuple[int, int]) -> dict[str, int]:
+        """Shard size metadata a traced worker attaches to its task span."""
+        start, stop = task
+        shard = self.tiles[start:stop]
+        return {
+            "tiles": len(shard),
+            "pairs": sum(tile.n_pairs for tile in shard),
+        }
+
 
 def shard_tasks(
     tiles: tuple["Tile", ...], k: int

@@ -39,6 +39,7 @@ import socket
 import threading
 import time
 from collections import deque
+from collections.abc import Mapping
 from dataclasses import dataclass, field
 
 from repro.cluster.shm import ShmPartial, resolve_result
@@ -50,6 +51,8 @@ from repro.cluster.transport import (
 )
 from repro.obs import metrics as obs_metrics
 from repro.obs import spans as obs_spans
+from repro.obs.logging import get_logger
+from repro.obs.registry import get_registry
 
 
 class ClusterError(RuntimeError):
@@ -70,6 +73,25 @@ class _Worker:
     failure_counted: bool = False
     last_seen: float = field(default_factory=time.monotonic)
     last_ping: float = 0.0
+    self_id: str | None = None    # worker's self-reported host:pid identity
+
+
+@dataclass
+class _TraceState:
+    """Per-submission bookkeeping for distributed trace stitching.
+
+    Lives only while a traced submission runs (ambient span present and
+    the registry enabled); an untraced submission pays nothing — task
+    frames keep their exact 3-tuple shape.
+    """
+
+    context: dict                                      # wire trace context
+    dispatch_at: dict[int, float] = field(default_factory=dict)
+    # task_key -> (worker id the accepted result came from, dispatch→result
+    # gap in seconds); filled when a result lands, consumed when the
+    # trailing task_span frame from the same worker arrives.
+    awaiting: dict[object, tuple[int, float]] = field(default_factory=dict)
+    children: dict[object, dict] = field(default_factory=dict)
 
 
 class ClusterCoordinator:
@@ -129,6 +151,11 @@ class ClusterCoordinator:
         self._bytes_metrics_lock = threading.Lock()
         self._bytes_sent_reported = 0
         self._bytes_received_reported = 0
+        # Latest metrics_pull snapshot per registry worker id, with the
+        # monotonic receive stamp that turns into the staleness age.
+        self._metrics_lock = threading.Lock()
+        self._worker_metrics: dict[int, dict] = {}
+        self._log = get_logger()
         self._listener: socket.socket | None = None
         self._threads: list[threading.Thread] = []
 
@@ -217,6 +244,114 @@ class ClusterCoordinator:
         """
         self._workers[worker_id].transport.close()
 
+    def _worker_label(self, worker_id: int) -> str:
+        """Metric label for a worker id — ``_unknown`` past deregistration."""
+        return str(worker_id) if worker_id in self._workers else "_unknown"
+
+    def worker_stats(self) -> list[dict]:
+        """Per-worker health for the serve layer's ``stats`` op."""
+        now = time.monotonic()
+        return [
+            {
+                "worker": worker.worker_id,
+                "self_id": worker.self_id,
+                "alive": worker.alive,
+                "last_seen_age_seconds": round(now - worker.last_seen, 3),
+                "inflight_task": (
+                    None if worker.task is None else list(worker.task)
+                ),
+                "bytes_sent": worker.transport.bytes_sent,
+                "bytes_received": worker.transport.bytes_received,
+            }
+            for worker in self._workers.values()
+        ]
+
+    def _store_worker_metrics(self, worker_id: int, payload: object) -> None:
+        """Cache one worker's metrics snapshot (from a ``metrics`` frame)."""
+        if not isinstance(payload, Mapping):
+            return
+        worker = self._workers.get(worker_id)
+        if worker is not None and payload.get("worker"):
+            worker.self_id = str(payload["worker"])
+        with self._metrics_lock:
+            self._worker_metrics[worker_id] = {
+                "payload": dict(payload),
+                "received_at": time.monotonic(),
+            }
+
+    def pull_metrics(self, timeout: float = 1.0) -> list[dict]:
+        """Best-effort snapshot of every live worker's metrics registry.
+
+        Sends a ``metrics_pull`` frame to each alive, idle worker and
+        collects the replies for up to ``timeout`` seconds — but never
+        blocks behind a running submission: if the scheduling loop holds
+        the submit lock (a fold in flight owns the inbox), the previously
+        cached snapshots are returned as-is, each stamped with its
+        ``age_seconds`` so the scrape shows exactly how stale it is.
+        Dead workers are skipped and their stale snapshots dropped (the
+        gap is logged, never raised).  With the obs registry disabled this
+        is a no-op returning ``[]`` — no frames are sent at all.
+        """
+        if not get_registry().enabled:
+            return []
+        if self._submit_lock.acquire(blocking=False):
+            try:
+                self._pull_locked(timeout)
+            finally:
+                self._submit_lock.release()
+        with self._metrics_lock:
+            for worker_id in list(self._worker_metrics):
+                worker = self._workers.get(worker_id)
+                if worker is None or not worker.alive:
+                    del self._worker_metrics[worker_id]
+                    self._log.warning(
+                        "worker_metrics_dropped", worker=worker_id,
+                        reason="worker dead",
+                    )
+            now = time.monotonic()
+            snapshots = []
+            for worker_id, entry in sorted(self._worker_metrics.items()):
+                payload = dict(entry["payload"])
+                payload["age_seconds"] = round(now - entry["received_at"], 3)
+                payload["registry_worker_id"] = worker_id
+                snapshots.append(payload)
+        return snapshots
+
+    def _pull_locked(self, timeout: float) -> None:
+        """Round-trip metrics_pull frames while owning the inbox."""
+        nonce = time.monotonic()
+        waiting: set[int] = set()
+        for worker in self._workers.values():
+            if worker.alive and worker.task is None:
+                if self._send(worker, ("metrics_pull", nonce)):
+                    waiting.add(worker.worker_id)
+        deadline = time.monotonic() + timeout
+        while waiting:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            try:
+                worker_id, message = self._inbox.get(timeout=remaining)
+            except queue.Empty:
+                break
+            worker = self._workers[worker_id]
+            worker.last_seen = time.monotonic()
+            kind = message[0]
+            if kind == "metrics":
+                self._store_worker_metrics(worker_id, message[2])
+                waiting.discard(worker_id)
+            elif kind == "dead":
+                self._mark_dead(worker)
+                waiting.discard(worker_id)
+            elif kind == "result":
+                # A stale straggler result: resolve so shm never leaks.
+                resolve_result(message[2])
+                if worker.task == message[1]:
+                    worker.task = None
+            elif kind == "error":
+                if message[1] is not None and worker.task == message[1]:
+                    worker.task = None
+
     def _reader(self, worker: _Worker) -> None:
         """Per-worker pump: frames (and the death notice) into the inbox.
 
@@ -288,6 +423,8 @@ class ClusterCoordinator:
                 resolve_result(message[2])
                 if worker.task == message[1]:
                     worker.task = None
+            elif message[0] == "metrics":
+                self._store_worker_metrics(worker_id, message[2])
             elif message[0] == "error":
                 # A stale straggler failing after its submission already
                 # returned; swallowing the frame without clearing the task
@@ -380,6 +517,17 @@ class ClusterCoordinator:
             raise ClusterError("no alive workers registered")
         submission = next(self._submission_counter)
 
+        # Distributed tracing engages only when the caller's span is
+        # ambient *and* the obs gate is open: untraced (or REPRO_OBS=0)
+        # submissions ship byte-identical 3-tuple task frames and the
+        # workers never serialize a span.
+        span = obs_spans.current()
+        trace = (
+            _TraceState(context=span.wire_context())
+            if span is not None and get_registry().enabled
+            else None
+        )
+
         # Broadcast the context; workers ack with ("ready",).  The loop is
         # serial, so with several simultaneously frozen peers the worst
         # case is one send_timeout *each* before their sends give up —
@@ -411,7 +559,9 @@ class ClusterCoordinator:
 
         try:
             while len(done) < len(tasks):
-                self._assign(submission, tasks, pending, queued, done, deadlines)
+                self._assign(
+                    submission, tasks, pending, queued, done, deadlines, trace
+                )
                 try:
                     worker_id, message = self._inbox.get(timeout=0.05)
                 except queue.Empty:
@@ -427,7 +577,7 @@ class ClusterCoordinator:
                 else:
                     self._handle(
                         submission, worker_id, message, pending, queued, done,
-                        deadlines, journal,
+                        deadlines, journal, trace,
                     )
                     while True:  # drain the backlog without blocking
                         try:
@@ -436,10 +586,14 @@ class ClusterCoordinator:
                             break
                         self._handle(
                             submission, worker_id, message, pending, queued,
-                            done, deadlines, journal,
+                            done, deadlines, journal, trace,
                         )
                 self._check_stragglers(pending, queued, done, deadlines)
                 self._heartbeat()
+            if trace is not None:
+                self._collect_trailing_spans(
+                    submission, trace, pending, queued, done, deadlines, journal
+                )
         finally:
             # An undelivered deferred context is dead weight once this
             # submission is over (it can pin the largest object in the
@@ -447,18 +601,77 @@ class ClusterCoordinator:
             for worker in self._workers.values():
                 worker.context_pending = None
 
+        if trace is not None:
+            span = obs_spans.current()
+            if span is not None:
+                for task_key in sorted(trace.children):
+                    span.add_child(trace.children[task_key])
+
         if journal is not None:
             journal.finish()
         return [done[index] for index in range(len(tasks))]
 
-    def _assign(self, submission, tasks, pending, queued, done, deadlines) -> None:
+    def _collect_trailing_spans(
+        self, submission, trace, pending, queued, done, deadlines, journal
+    ) -> None:
+        """Wait briefly for task_span frames still in flight.
+
+        A worker sends its span *after* the result frame it describes (the
+        span's serialize/send segments time that frame), so the last
+        result of a submission can land with its span still on the wire.
+        The stream is ordered per worker, so one short drain collects the
+        stragglers; spans from dead workers are abandoned — traces are
+        best-effort, results are not.
+        """
+        deadline = time.monotonic() + 2.0
+        while True:
+            missing = {
+                key
+                for key, (worker_id, _) in trace.awaiting.items()
+                if key not in trace.children
+                and worker_id in self._workers
+                and self._workers[worker_id].alive
+            }
+            if not missing:
+                return
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                self._log.warning(
+                    "trace_spans_missing", submission=submission,
+                    missing=len(missing),
+                )
+                return
+            try:
+                worker_id, message = self._inbox.get(timeout=remaining)
+            except queue.Empty:
+                continue
+            self._handle(
+                submission, worker_id, message, pending, queued, done,
+                deadlines, journal, trace,
+            )
+
+    def _assign(
+        self, submission, tasks, pending, queued, done, deadlines, trace=None
+    ) -> None:
         for worker in self._workers.values():
             while pending and worker.alive and worker.ready and worker.task is None:
                 index = pending.popleft()
                 queued.discard(index)
                 if index in done:
                     continue  # a re-issued task whose original already landed
-                if self._send(worker, ("task", (submission, index), tasks[index])):
+                frame = (
+                    ("task", (submission, index), tasks[index])
+                    if trace is None
+                    else ("task", (submission, index), tasks[index], trace.context)
+                )
+                if trace is not None:
+                    # Stamped *before* the send so the task frame's own
+                    # serialize+transit lands inside the dispatch→result
+                    # gap.  Re-issues overwrite the stamp (the gap is then
+                    # measured from the latest dispatch) and a failed send
+                    # leaves a stale stamp the re-issue also overwrites.
+                    trace.dispatch_at[index] = time.monotonic()
+                if self._send(worker, frame):
                     worker.task = (submission, index)
                     obs_metrics.CLUSTER_DISPATCHED.inc_labels(worker.worker_id)
                     if self.task_timeout is not None:
@@ -475,7 +688,7 @@ class ClusterCoordinator:
 
     def _handle(
         self, submission, worker_id, message, pending, queued, done, deadlines,
-        journal=None,
+        journal=None, trace=None,
     ) -> None:
         worker = self._workers[worker_id]
         worker.last_seen = time.monotonic()
@@ -490,7 +703,9 @@ class ClusterCoordinator:
             # Resolve (and for shm: attach + unlink) before any dedup — a
             # discarded duplicate must still release its segment.
             payload = resolve_result(payload)
-            obs_metrics.CLUSTER_RESULTS.inc_labels("shm" if via_shm else "pipe")
+            obs_metrics.CLUSTER_RESULTS.inc_labels(
+                self._worker_label(worker_id), "shm" if via_shm else "pipe"
+            )
             if worker.task == task_key:
                 worker.task = None
                 self._deliver_pending_context(worker)
@@ -503,13 +718,51 @@ class ClusterCoordinator:
                     journal.record_result(index, payload)
                 done[index] = payload
                 deadlines.pop(index, None)
+                if trace is not None:
+                    # Dispatch→result as the coordinator saw it; the
+                    # worker's wall time arrives with the trailing span,
+                    # and the difference is queue + network time.
+                    dispatched = trace.dispatch_at.get(index)
+                    if dispatched is not None:
+                        gap = time.monotonic() - dispatched
+                        trace.awaiting[task_key] = (worker_id, gap)
+        elif kind == "task_span":
+            _, task_key, child = message
+            if (
+                trace is not None
+                and isinstance(child, dict)
+                and task_key in trace.awaiting
+                and task_key not in trace.children
+            ):
+                src_worker, gap = trace.awaiting[task_key]
+                if src_worker == worker_id:
+                    # Stitch the coordinator-side view into the worker's
+                    # payload: the gap always contains the wall time, so
+                    # queue_network is the cross-wire remainder.
+                    wall = float(child.get("wall_seconds", 0.0))
+                    child["dispatch_gap_seconds"] = round(gap, 9)
+                    child["queue_network_seconds"] = round(max(0.0, gap - wall), 9)
+                    child["coordinator_worker_id"] = worker_id
+                    trace.children[task_key] = child
+            if isinstance(child, dict) and child.get("worker"):
+                worker.self_id = str(child["worker"])
+        elif kind == "metrics":
+            self._store_worker_metrics(worker_id, message[2])
         elif kind == "error":
-            _, task_key, text = message
+            _, task_key, info = message
+            if isinstance(info, Mapping):
+                summary = str(info.get("error", ""))
+                text = str(info.get("traceback") or summary)
+                if info.get("worker"):
+                    worker.self_id = str(info["worker"])
+            else:  # a pre-structured (plain string) error frame
+                summary = str(info).strip().splitlines()[-1] if info else ""
+                text = str(info)
             if task_key is None:
                 # A protocol-level complaint (unknown frame kind), not a
                 # task failure: nothing to unpack or requeue.
                 raise ClusterError(
-                    f"protocol error from worker {worker_id}: {text}"
+                    f"protocol error from worker {worker_id}: {summary or text}"
                 )
             if worker.task == task_key:
                 worker.task = None
@@ -519,7 +772,14 @@ class ClusterCoordinator:
             # a current task whose re-issued twin already landed — must not
             # abort healthy work; only a live failure of *this* submission
             # is fatal (it would fail identically on every worker).
-            if their_submission == submission and index not in done:
+            stale = their_submission != submission or index in done
+            self._log.log(
+                "warning" if stale else "error",
+                "worker_task_failed",
+                worker=worker_id, worker_self=worker.self_id,
+                task=list(task_key), error=summary, stale=stale,
+            )
+            if not stale:
                 raise ClusterError(f"task failed on worker {worker_id}:\n{text}")
         elif kind == "dead":
             in_flight = worker.task

@@ -89,14 +89,20 @@ class LocalCluster:
             # Imported here, not at module scope: the worker module doubles
             # as the ``-m`` entry point and must stay out of the package
             # import graph (see the note in repro/cluster/__init__.py).
-            from repro.cluster.worker import serve
+            from repro.cluster.worker import default_worker_id, serve
 
-            for _ in range(n_workers):
+            for index in range(n_workers):
                 coordinator_end, worker_end = LocalTransport.pair()
                 self.coordinator.add_worker(coordinator_end)
+                # In-process workers share one pid, so the host:pid default
+                # would collide in federated metric labels; suffix the slot.
                 thread = threading.Thread(
                     target=serve, args=(worker_end,),
-                    kwargs={"use_shm": self.use_shm}, daemon=True,
+                    kwargs={
+                        "use_shm": self.use_shm,
+                        "worker_id": f"{default_worker_id()}:w{index}",
+                    },
+                    daemon=True,
                 )
                 self._threads.append(thread)
                 thread.start()

@@ -63,18 +63,38 @@ class TransportTimeout(TransportError):
 
 
 class Transport:
-    """Framed-pickle message link; subclasses move raw payloads."""
+    """Framed-pickle message link; subclasses move raw payloads.
+
+    Besides the cumulative byte/frame counters, every send and receive
+    records how its latest frame split between (de)serialization and the
+    raw payload move (``last_serialize_seconds`` / ``last_send_seconds`` /
+    ``last_unpickle_seconds``, plus the frame's payload size).  That is
+    what lets a traced cluster worker report disjoint ``serialize`` and
+    ``send`` segments for a result frame *after* shipping it — the span
+    itself travels in a separate trailing frame.  The cost is four
+    ``perf_counter`` reads per frame, noise next to a pickle round-trip.
+    """
 
     def __init__(self) -> None:
         self.bytes_sent = 0
         self.bytes_received = 0
         self.frames_sent = 0
         self.frames_received = 0
+        self.last_serialize_seconds = 0.0
+        self.last_send_seconds = 0.0
+        self.last_send_bytes = 0
+        self.last_unpickle_seconds = 0.0
+        self.last_recv_bytes = 0
 
     def send(self, message: object) -> None:
         """Pickle ``message`` into one frame and ship it."""
+        start = time.perf_counter()
         payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+        serialized = time.perf_counter()
         self._send_payload(payload)
+        self.last_serialize_seconds = serialized - start
+        self.last_send_seconds = time.perf_counter() - serialized
+        self.last_send_bytes = len(payload)
         self.bytes_sent += len(payload)
         self.frames_sent += 1
 
@@ -88,7 +108,11 @@ class Transport:
         payload = self._recv_payload(timeout)
         self.bytes_received += len(payload)
         self.frames_received += 1
-        return pickle.loads(payload)
+        self.last_recv_bytes = len(payload)
+        start = time.perf_counter()
+        message = pickle.loads(payload)
+        self.last_unpickle_seconds = time.perf_counter() - start
+        return message
 
     def close(self) -> None:
         raise NotImplementedError

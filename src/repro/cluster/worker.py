@@ -10,7 +10,7 @@ does not take the worker down with it.
 
 Remote deployment is one command per machine::
 
-    python -m repro.cluster.worker --connect host:port [--shm]
+    python -m repro.cluster.worker --connect host:port [--shm] [--worker-id ID]
 
 ``--shm`` parks :class:`~repro.engine.partial.PartialEvidenceSet` results
 in shared memory and returns only the handle (:mod:`repro.cluster.shm`) —
@@ -18,20 +18,44 @@ valid when the worker shares a machine with its coordinator.
 
 Wire protocol (all frames are tuples, first element the kind):
 
-=================  =============================  ==========================
-coordinator sends  worker replies                 meaning
-=================  =============================  ==========================
-``("context", c)`` ``("ready",)``                 install work context ``c``
-``("task", i, p)`` ``("result", i, r)`` or        run ``c.run(p)``
-—                  ``("error", i, message)``
-``("ping", n)``    ``("pong", n)``                heartbeat
-``("shutdown",)``  —                              close and exit
-=================  =============================  ==========================
+======================  =============================  =======================
+coordinator sends       worker replies                 meaning
+======================  =============================  =======================
+``("context", c)``      ``("ready",)``                 install work context
+``("task", i, p[, t])`` ``("result", i, r)`` or        run ``c.run(p)``;
+—                       ``("error", i, info)``         ``t`` = trace context
+—                       ``("task_span", i, child)``    traced-task span, sent
+—                                                      *after* its result
+``("ping", n)``         ``("pong", n)``                heartbeat
+``("metrics_pull", n)`` ``("metrics", n, snapshot)``   registry snapshot
+``("shutdown",)``       —                              close and exit
+======================  =============================  =======================
+
+Observability (all of it gated on the process registry's ``REPRO_OBS``
+switch, and none of it on the untraced hot path beyond counter bumps):
+
+* A task frame carrying a trace context runs under a child
+  :class:`~repro.obs.spans.Span` whose disjoint segments —
+  ``deserialize`` / ``compute`` / ``serialize`` / ``send`` — sum to the
+  task's wall time.  Because the ``serialize``/``send`` segments measure
+  the *result frame itself*, the span cannot ride inside that frame; it
+  follows in a tiny ``task_span`` frame on the same ordered stream, which
+  the coordinator stitches into the requesting span's tree.
+* ``repro_worker_*`` metric families count tasks (by context kind and
+  outcome), task seconds, context installs, link bytes, and shm exports
+  in *this process's* registry; the coordinator collects them via
+  ``metrics_pull`` and federates them under a ``worker="<id>"`` label.
+* Failures become bounded, structured error frames (capped traceback,
+  task key, worker id) mirrored as a :class:`~repro.obs.logging.JsonLogger`
+  record instead of raw stderr.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
+import socket as socket_module
+import time
 import traceback
 
 from repro.cluster.shm import discard_result, export_result
@@ -41,12 +65,89 @@ from repro.cluster.transport import (
     connect_socket,
     parse_address,
 )
+from repro.obs import metrics as obs_metrics
+from repro.obs.federate import prune_idle
+from repro.obs.logging import get_logger
+from repro.obs.registry import get_registry
+from repro.obs.spans import Span
+
+#: Hard cap on the traceback text an error frame ships — a repr-heavy
+#: exception (say, a numpy array in the message) must not balloon a frame.
+MAX_TRACEBACK_CHARS = 4096
+_MAX_ERROR_CHARS = 512
 
 
-def serve(transport: Transport, use_shm: bool = False) -> int:
+def default_worker_id() -> str:
+    """The worker's self-reported identity: ``host:pid``."""
+    return f"{socket_module.gethostname()}:{os.getpid()}"
+
+
+def _bounded_traceback() -> str:
+    """The current exception's traceback, middle-elided past the cap."""
+    text = traceback.format_exc(limit=20)
+    if len(text) <= MAX_TRACEBACK_CHARS:
+        return text
+    keep = MAX_TRACEBACK_CHARS // 2
+    dropped = len(text) - 2 * keep
+    return f"{text[:keep]}\n... [{dropped} chars truncated] ...\n{text[-keep:]}"
+
+
+def _error_info(worker_id: str, task_id: object, error: BaseException) -> dict:
+    message = f"{type(error).__name__}: {error}"
+    if len(message) > _MAX_ERROR_CHARS:
+        message = message[:_MAX_ERROR_CHARS] + "..."
+    return {
+        "worker": worker_id,
+        # Normally the (submission, index) pair; a protocol complaint can
+        # carry whatever key the malformed frame held, so don't assume.
+        "task": list(task_id) if isinstance(task_id, (tuple, list)) else task_id,
+        "error": message,
+        "traceback": _bounded_traceback(),
+    }
+
+
+def _task_meta(context: object, payload: object) -> dict:
+    """Optional task metadata from the context (e.g. shard pair counts)."""
+    describe = getattr(context, "describe", None)
+    if describe is None:
+        return {}
+    try:
+        meta = describe(payload)
+    except Exception:
+        return {}
+    return dict(meta) if isinstance(meta, dict) else {}
+
+
+def serve(
+    transport: Transport, use_shm: bool = False, worker_id: str | None = None
+) -> int:
     """Run the worker loop until shutdown or peer death; tasks completed."""
+    if worker_id is None:
+        worker_id = default_worker_id()
+    log = get_logger()
+    registry = get_registry()
     context: object | None = None
+    context_kind = "none"
     completed = 0
+    bytes_reported = [0, 0]  # sent, received — last totals pushed to counters
+
+    def push_bytes() -> None:
+        if not registry.enabled:
+            return
+        sent, received = transport.bytes_sent, transport.bytes_received
+        obs_metrics.WORKER_BYTES_SENT.inc(max(0, sent - bytes_reported[0]))
+        obs_metrics.WORKER_BYTES_RECEIVED.inc(max(0, received - bytes_reported[1]))
+        bytes_reported[0], bytes_reported[1] = sent, received
+
+    def report_error(task_id: object, error: BaseException) -> None:
+        obs_metrics.WORKER_TASKS.inc_labels(context_kind, "error")
+        info = _error_info(worker_id, task_id, error)
+        log.error(
+            "task_failed",
+            worker=worker_id, task=info["task"], error=info["error"],
+        )
+        transport.send(("error", task_id, info))
+
     while True:
         # A closed link — clean coordinator shutdown or its death — ends
         # the loop quietly wherever it surfaces, recv and send alike.
@@ -55,38 +156,101 @@ def serve(transport: Transport, use_shm: bool = False) -> int:
             kind = message[0]
             if kind == "context":
                 context = message[1]
+                context_kind = type(context).__name__
+                obs_metrics.WORKER_CONTEXT_INSTALLS.inc()
                 transport.send(("ready",))
             elif kind == "task":
-                _, task_id, payload = message
+                task_id, payload = message[1], message[2]
+                trace_ctx = message[3] if len(message) > 3 else None
+                deserialize_seconds = transport.last_unpickle_seconds
+                started = time.perf_counter()
                 try:
                     if context is None:
                         raise RuntimeError("no context installed before the first task")
-                    result = export_result(context.run(payload), use_shm)
+                    result = context.run(payload)
+                    computed = time.perf_counter()
+                    exported = export_result(result, use_shm)
+                    exported_at = time.perf_counter()
                 except TransportClosed:
                     raise
-                except Exception:
-                    transport.send(("error", task_id, traceback.format_exc(limit=5)))
+                except Exception as error:
+                    report_error(task_id, error)
                     continue
+                via_shm = exported is not result
                 try:
-                    transport.send(("result", task_id, result))
+                    transport.send(("result", task_id, exported))
                 except TransportClosed:
-                    discard_result(result)  # nobody will ever attach it
+                    discard_result(exported)  # nobody will ever attach it
                     raise
-                except Exception:
+                except Exception as error:
                     # An unpicklable result never reached the wire (send
                     # pickles before writing), so the stream is clean:
                     # report the failure instead of crashing the loop.
-                    discard_result(result)
-                    transport.send(("error", task_id, traceback.format_exc(limit=5)))
+                    discard_result(exported)
+                    report_error(task_id, error)
                     continue
+                finished = time.perf_counter()
                 completed += 1
+                wall = deserialize_seconds + (finished - started)
+                result_bytes = transport.last_send_bytes
+                obs_metrics.WORKER_TASKS.inc_labels(context_kind, "ok")
+                obs_metrics.WORKER_TASK_SECONDS.observe(wall)
+                if via_shm:
+                    obs_metrics.WORKER_SHM_EXPORTS.inc()
+                if trace_ctx is not None:
+                    # Disjoint segments covering the whole wall window; the
+                    # serialize/send pair comes from the transport's timing
+                    # of the result frame just shipped, which is why the
+                    # span trails its result instead of riding inside it.
+                    span = Span(
+                        str(trace_ctx.get("trace_id", "")), op="cluster_task"
+                    )
+                    span.add_segment("deserialize", deserialize_seconds)
+                    span.add_segment("compute", computed - started)
+                    span.add_segment(
+                        "serialize",
+                        (exported_at - computed) + transport.last_serialize_seconds,
+                    )
+                    span.add_segment("send", transport.last_send_seconds)
+                    child = span.jsonable()
+                    child.update(_task_meta(context, payload))
+                    child.update(
+                        worker=worker_id,
+                        task=list(task_id),
+                        wall_seconds=wall,
+                        result_bytes=result_bytes,
+                        shm=via_shm,
+                    )
+                    transport.send(("task_span", task_id, child))
             elif kind == "ping":
                 transport.send(("pong", message[1]))
+            elif kind == "metrics_pull":
+                families = prune_idle(registry.snapshot()) if registry.enabled else {}
+                transport.send((
+                    "metrics",
+                    message[1],
+                    {
+                        "worker": worker_id,
+                        "enabled": registry.enabled,
+                        "taken_at": time.time(),
+                        "tasks_completed": completed,
+                        "families": families,
+                    },
+                ))
             elif kind == "shutdown":
                 transport.close()
                 return completed
             else:
-                transport.send(("error", None, f"unknown message kind {kind!r}"))
+                transport.send((
+                    "error", None,
+                    {
+                        "worker": worker_id,
+                        "task": None,
+                        "error": f"unknown message kind {kind!r}",
+                        "traceback": "",
+                    },
+                ))
+            push_bytes()
         except TransportClosed:
             try:
                 transport.close()  # announce EOF on our side too
@@ -114,11 +278,20 @@ def main(argv: list[str] | None = None) -> int:
              "frozen coordinator would otherwise hang the worker forever "
              "(0 disables the bound; default %(default)s)",
     )
+    parser.add_argument(
+        "--worker-id", default=None, metavar="ID",
+        help="self-reported identity used in federated metrics labels and "
+             "error frames (default: host:pid)",
+    )
     args = parser.parse_args(argv)
     host, port = parse_address(args.connect)
     send_timeout = args.send_timeout if args.send_timeout > 0 else None
     transport = connect_socket(host, port, send_timeout=send_timeout)
-    serve(transport, use_shm=args.shm)
+    worker_id = args.worker_id or default_worker_id()
+    log = get_logger()
+    log.info("worker_connected", worker=worker_id, coordinator=f"{host}:{port}")
+    completed = serve(transport, use_shm=args.shm, worker_id=worker_id)
+    log.info("worker_exiting", worker=worker_id, tasks_completed=completed)
     return 0
 
 

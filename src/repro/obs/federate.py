@@ -1,0 +1,175 @@
+"""Federate worker metric snapshots into one Prometheus exposition.
+
+A cluster coordinator can ask every live worker for a JSON snapshot of its
+process registry (the ``metrics_pull`` control frame,
+:meth:`~repro.cluster.coordinator.ClusterCoordinator.pull_metrics`).  This
+module turns those snapshots — dicts of the
+:meth:`~repro.obs.registry.MetricsRegistry.snapshot` schema wrapped with
+the worker's identity and a staleness stamp — into scrape output:
+
+* every worker sample gains a ``worker="<id>"`` label (the worker's
+  self-reported ``host:pid`` identity, so series survive re-registration),
+* samples merge *under the coordinator's own family headers* whenever the
+  family is declared locally too (one ``# HELP``/``# TYPE`` pair per
+  family, as the exposition format requires), and
+* families only a worker knows about are appended with the headers its
+  snapshot carried.
+
+Snapshots are best-effort observability data: a malformed or stale one is
+skipped, never raised on.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.obs.prometheus import (
+    _escape_help,
+    _format_value,
+    _labels_text,
+    render_text,
+)
+from repro.obs.registry import MetricsRegistry
+
+__all__ = [
+    "merge_snapshots",
+    "prune_idle",
+    "render_federated",
+    "render_families",
+]
+
+
+def prune_idle(families: Mapping[str, Mapping[str, object]]) -> dict[str, dict]:
+    """Drop families that have recorded nothing yet.
+
+    Worker registries declare the *whole* metric surface at import (every
+    ``repro_*`` family), so an unpruned snapshot ships dozens of all-zero
+    series per worker per pull.  A sample counts as live when its value,
+    histogram count, or gauge reading is non-zero; gauges legitimately
+    sitting at zero after moving are indistinguishable from never-fired
+    and are dropped too — acceptable for a fleet snapshot.
+    """
+    pruned: dict[str, dict] = {}
+    for name, family in families.items():
+        samples = [
+            sample
+            for sample in family.get("samples", ())
+            if float(sample.get("value", 0) or 0) != 0.0
+            or int(sample.get("count", 0) or 0) != 0
+        ]
+        if samples:
+            pruned[name] = {
+                "type": family.get("type", "untyped"),
+                "help": family.get("help", ""),
+                "samples": samples,
+            }
+    return pruned
+
+
+def _labeled_samples(
+    family: Mapping[str, object], worker_id: str
+) -> list[dict[str, object]]:
+    """The family's samples with ``worker="<id>"`` stamped into the labels."""
+    labeled = []
+    for sample in family.get("samples", ()):  # type: ignore[union-attr]
+        labels = dict(sample.get("labels", {}) or {})
+        labels["worker"] = worker_id
+        labeled.append({**sample, "labels": labels})
+    return labeled
+
+
+def merge_snapshots(
+    snapshots: Iterable[Mapping[str, object]],
+) -> dict[str, dict]:
+    """One families-dict holding every worker's samples, worker-labeled.
+
+    ``snapshots`` are the payloads ``pull_metrics`` collects: each carries
+    ``worker`` (self-reported id) and ``families`` (registry snapshot).
+    Disabled or malformed snapshots contribute nothing; a type conflict
+    between workers (impossible with in-tree declarations, possible with
+    a version skew) keeps the first seen type and skips the clash.
+    """
+    merged: dict[str, dict] = {}
+    for snapshot in snapshots:
+        families = snapshot.get("families")
+        if not isinstance(families, Mapping):
+            continue
+        worker_id = str(snapshot.get("worker", "_unknown"))
+        for name, family in families.items():
+            if not isinstance(family, Mapping):
+                continue
+            entry = merged.setdefault(
+                name,
+                {
+                    "type": family.get("type", "untyped"),
+                    "help": family.get("help", ""),
+                    "samples": [],
+                },
+            )
+            if entry["type"] != family.get("type", "untyped"):
+                continue
+            entry["samples"].extend(_labeled_samples(family, worker_id))
+    return merged
+
+
+def _sample_lines(name: str, sample: Mapping[str, object]) -> list[str]:
+    """Exposition lines for one snapshot-schema sample (scalar or histogram)."""
+    labels = sample.get("labels", {}) or {}
+    names = tuple(str(k) for k in labels)
+    values = tuple(str(v) for v in labels.values())
+    if "buckets" in sample:
+        lines = []
+        for bound, cumulative in sample["buckets"]:  # type: ignore[union-attr]
+            le = "+Inf" if bound == "+Inf" else _format_value(float(bound))
+            label_text = _labels_text(names, values, extra=(("le", le),))
+            lines.append(f"{name}_bucket{label_text} {int(cumulative)}")
+        label_text = _labels_text(names, values)
+        lines.append(f"{name}_sum{label_text} {_format_value(float(sample['sum']))}")
+        lines.append(f"{name}_count{label_text} {int(sample['count'])}")
+        return lines
+    label_text = _labels_text(names, values)
+    return [f"{name}{label_text} {_format_value(float(sample['value']))}"]
+
+
+def render_families(families: Mapping[str, Mapping[str, object]]) -> str:
+    """Prometheus text for a families-dict (the JSON snapshot schema)."""
+    lines: list[str] = []
+    for name in sorted(families):
+        family = families[name]
+        lines.append(f"# HELP {name} {_escape_help(str(family.get('help', '')))}")
+        lines.append(f"# TYPE {name} {family.get('type', 'untyped')}")
+        for sample in family.get("samples", ()):
+            lines.extend(_sample_lines(name, sample))
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def render_federated(
+    registry: MetricsRegistry,
+    snapshots: Iterable[Mapping[str, object]],
+) -> str:
+    """The local exposition with worker samples merged under its headers.
+
+    Families both sides know keep the local ``# HELP``/``# TYPE`` pair and
+    gain the worker-labeled sample lines right below the local ones;
+    worker-only families are appended at the end with their own headers.
+    """
+    merged = merge_snapshots(snapshots)
+    if not merged:
+        return render_text(registry)
+    local_names = {family.name for family in registry.families()}
+    lines: list[str] = []
+    for line in render_text(registry).splitlines():
+        lines.append(line)
+        if line.startswith("# TYPE "):
+            name = line.split(" ", 3)[2]
+            family = merged.get(name)
+            if family is not None and name in local_names:
+                for sample in family["samples"]:
+                    lines.extend(_sample_lines(name, sample))
+    remote_only = {
+        name: family for name, family in merged.items()
+        if name not in local_names
+    }
+    if remote_only:
+        lines.append(render_families(remote_only).rstrip("\n"))
+    return "\n".join(lines) + "\n"

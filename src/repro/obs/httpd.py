@@ -3,14 +3,25 @@
 Stdlib only, runs on the server's own event loop (no extra threads): each
 connection reads one request, answers ``GET /metrics`` (or ``/``) with the
 registry rendered by :func:`~repro.obs.prometheus.render_text`, and closes
-(``Connection: close`` — scrapers reconnect per scrape).  Anything else
-gets a 404.  Malformed requests are dropped silently; this listener is
-meant for a trusted scrape network, same as the serving port.
+(``Connection: close`` — scrapers reconnect per scrape).  ``GET /healthz``
+is a liveness probe distinct from the scrape: 200 with a small JSON body
+(uptime plus whatever the owner's ``health`` callable reports), so an
+orchestrator can restart a wedged process without parsing an exposition.
+Anything else gets a 404.  Malformed requests are dropped silently; this
+listener is meant for a trusted scrape network, same as the serving port.
+
+``collect`` lets the owner replace the plain registry render with a richer
+one — the serving layer plugs in the cluster-federated exposition
+(:func:`~repro.obs.federate.render_federated`) there.  It may block on
+worker round-trips, so it runs in the loop's default executor.
 """
 
 from __future__ import annotations
 
 import asyncio
+import json
+import time
+from typing import Callable
 
 from repro.obs.prometheus import CONTENT_TYPE, render_text
 from repro.obs.registry import MetricsRegistry
@@ -21,12 +32,22 @@ _MAX_REQUEST_BYTES = 8192
 
 
 class MetricsHTTPServer:
-    """``GET /metrics`` over a loop-local ``asyncio.start_server``."""
+    """``GET /metrics`` (+ ``/healthz``) over a loop-local ``asyncio.start_server``."""
 
-    def __init__(self, registry: MetricsRegistry, host: str, port: int) -> None:
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        host: str,
+        port: int,
+        collect: Callable[[], str] | None = None,
+        health: Callable[[], dict] | None = None,
+    ) -> None:
         self.registry = registry
         self.host = host
         self.port = port
+        self.collect = collect
+        self.health = health
+        self._started_at = time.monotonic()
         self._server: asyncio.AbstractServer | None = None
 
     async def start(self) -> tuple[str, int]:
@@ -47,6 +68,28 @@ class MetricsHTTPServer:
     def address(self) -> tuple[str, int]:
         return self.host, self.port
 
+    async def _render(self) -> bytes:
+        if self.collect is None:
+            return render_text(self.registry).encode("utf-8")
+        loop = asyncio.get_running_loop()
+        try:
+            text = await loop.run_in_executor(None, self.collect)
+        except Exception:
+            # A federation hiccup must not break the local scrape.
+            text = render_text(self.registry)
+        return text.encode("utf-8")
+
+    def _health_body(self) -> bytes:
+        body = {"status": "ok", "uptime_seconds": round(
+            time.monotonic() - self._started_at, 3
+        )}
+        if self.health is not None:
+            try:
+                body.update(self.health())
+            except Exception as error:
+                body["health_error"] = repr(error)
+        return (json.dumps(body) + "\n").encode("utf-8")
+
     async def _handle(self, reader: asyncio.StreamReader,
                       writer: asyncio.StreamWriter) -> None:
         try:
@@ -65,10 +108,17 @@ class MetricsHTTPServer:
                 return
             path = parts[1].split(b"?", 1)[0]
             if path in (b"/metrics", b"/"):
-                body = render_text(self.registry).encode("utf-8")
+                body = await self._render()
                 if parts[0] == b"HEAD":
                     body = b""
                 writer.write(_response(200, body, content_type=CONTENT_TYPE))
+            elif path == b"/healthz":
+                body = self._health_body()
+                if parts[0] == b"HEAD":
+                    body = b""
+                writer.write(
+                    _response(200, body, content_type="application/json")
+                )
             else:
                 writer.write(_response(404, b"not found\n"))
             await writer.drain()

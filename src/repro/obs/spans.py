@@ -42,9 +42,19 @@ def new_trace_id() -> str:
 
 
 class Span:
-    """One traced operation: named disjoint segments plus nested details."""
+    """One traced operation: named disjoint segments plus nested details.
 
-    __slots__ = ("trace_id", "op", "store", "started", "segments", "detail")
+    ``children`` holds already-jsonable span payloads from *other*
+    processes — e.g. the per-task worker spans a cluster submission
+    stitches back in — so a trace of a distributed request is one tree.
+    Child wall time overlaps the parent's segments by construction (the
+    fold segment contains the cluster submit contains the worker spans),
+    so children never enter :meth:`accounted`.
+    """
+
+    __slots__ = (
+        "trace_id", "op", "store", "started", "segments", "detail", "children"
+    )
 
     def __init__(self, trace_id: str, op: str, store: str | None = None) -> None:
         self.trace_id = trace_id
@@ -53,6 +63,7 @@ class Span:
         self.started = time.perf_counter()
         self.segments: dict[str, float] = {}
         self.detail: dict[str, float] = {}
+        self.children: list[dict[str, object]] = []
 
     def add_segment(self, name: str, seconds: float) -> None:
         """Accumulate a top-level (disjoint) segment."""
@@ -65,6 +76,14 @@ class Span:
         if seconds < 0.0:
             seconds = 0.0
         self.detail[name] = self.detail.get(name, 0.0) + seconds
+
+    def add_child(self, payload: dict[str, object]) -> None:
+        """Attach a remote (already-jsonable) child span payload."""
+        self.children.append(payload)
+
+    def wire_context(self) -> dict[str, object]:
+        """The minimal picklable context a remote child span needs."""
+        return {"trace_id": self.trace_id, "op": self.op}
 
     @contextlib.contextmanager
     def segment(self, name: str) -> Iterator[None]:
@@ -88,6 +107,8 @@ class Span:
             payload["store"] = self.store
         if self.detail:
             payload["detail"] = {k: round(v, 9) for k, v in self.detail.items()}
+        if self.children:
+            payload["children"] = list(self.children)
         return payload
 
 

@@ -330,6 +330,8 @@ class AppendScheduler:
                     span.add_segment(name, seconds)
                 for name, seconds in collector.detail.items():
                     span.add_detail(name, seconds)
+                for child in collector.children:
+                    span.add_child(child)
         self.appended_rows += len(combined)
         base = {
             "n_rows": store.n_rows,

@@ -57,6 +57,7 @@ from repro.incremental.serve import ViolationService
 from repro.incremental.store import EvidenceStore
 from repro.obs import metrics as obs_metrics
 from repro.obs import spans as obs_spans
+from repro.obs.federate import render_federated
 from repro.obs.httpd import MetricsHTTPServer
 from repro.obs.logging import get_logger
 from repro.obs.prometheus import render_text
@@ -326,7 +327,9 @@ class ViolationServer:
         self.host, self.port = self._server.sockets[0].getsockname()[:2]
         if self.metrics_port is not None:
             self._metrics_httpd = MetricsHTTPServer(
-                obs_get_registry(), self.host, self.metrics_port
+                obs_get_registry(), self.host, self.metrics_port,
+                collect=self._collect_exposition,
+                health=self._health_info,
             )
             await self._metrics_httpd.start()
             self._log.info(
@@ -416,6 +419,40 @@ class ViolationServer:
         if self._metrics_httpd is None:
             return None
         return self._metrics_httpd.address
+
+    def _coordinator(self):
+        """The cluster coordinator behind ``cluster=``, if any."""
+        if self.cluster is None:
+            return None
+        from repro.cluster.local import resolve_coordinator
+
+        try:
+            return resolve_coordinator(self.cluster)
+        except TypeError:
+            return None
+
+    def _collect_exposition(self) -> str:
+        """Prometheus text for a scrape — federated when cluster-backed.
+
+        Runs in an executor (worker pulls round-trip the cluster links);
+        ``pull_metrics`` itself never blocks behind a running fold, so a
+        scrape during heavy appends just serves the cached, age-stamped
+        worker snapshots.
+        """
+        registry = obs_get_registry()
+        coordinator = self._coordinator()
+        if coordinator is None or not registry.enabled:
+            return render_text(registry)
+        return render_federated(registry, coordinator.pull_metrics(timeout=0.5))
+
+    def _health_info(self) -> dict:
+        """The ``/healthz`` body: liveness plus recovery state."""
+        return {
+            "uptime_seconds": round(time.monotonic() - self._started_at, 3),
+            "stores": sum(1 for v in self._stores.values() if v is not None),
+            "requests_served": self.requests_served,
+            "recovery_failures": len(self.recovery_failures),
+        }
 
     async def serve_forever(self) -> None:
         """Block until :meth:`stop` completes (the ``__main__`` loop)."""
@@ -1111,6 +1148,14 @@ class ViolationServer:
                 "fsync": self.fsync,
                 "recovery_failures": dict(self.recovery_failures),
             }
+        coordinator = self._coordinator()
+        if coordinator is not None:
+            fields["cluster"] = {
+                "alive_workers": coordinator.n_alive,
+                "failed_workers": coordinator.failed_workers,
+                "reissued_tasks": coordinator.reissued_tasks,
+                "workers": coordinator.worker_stats(),
+            }
         return fields
 
     async def _op_metrics(self, message: Mapping[str, object]) -> dict:
@@ -1122,22 +1167,42 @@ class ViolationServer:
         """
         registry = obs_get_registry()
         format_field = message.get("format", "json")
-        if format_field == "text":
-            return {
-                "format": "text",
-                "enabled": registry.enabled,
-                "text": render_text(registry),
-            }
-        if format_field != "json":
+        if format_field not in ("json", "text"):
             raise _RequestError(
                 protocol.BAD_REQUEST,
                 f"unknown format {format_field!r} (json|text)",
             )
-        return {
-            "format": "json",
-            "enabled": registry.enabled,
-            "metrics": registry.snapshot(),
-        }
+        # Cluster-backed servers answer with the federated view: worker
+        # registries pulled over the fabric (never blocking a running
+        # fold — see ClusterCoordinator.pull_metrics), each snapshot
+        # already stamped with its worker id and staleness age.
+        coordinator = self._coordinator()
+        workers: list[dict] | None = None
+        if coordinator is not None and registry.enabled:
+            loop = asyncio.get_running_loop()
+            workers = await loop.run_in_executor(
+                self._executor, lambda: coordinator.pull_metrics(timeout=0.5)
+            )
+        if format_field == "text":
+            text = (
+                render_federated(registry, workers)
+                if workers
+                else render_text(registry)
+            )
+            fields: dict[str, object] = {
+                "format": "text",
+                "enabled": registry.enabled,
+                "text": text,
+            }
+        else:
+            fields = {
+                "format": "json",
+                "enabled": registry.enabled,
+                "metrics": registry.snapshot(),
+            }
+        if workers is not None:
+            fields["workers"] = workers
+        return fields
 
 
 class ServerThread:

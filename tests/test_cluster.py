@@ -595,8 +595,12 @@ class TestWorkerLoop:
         thread = threading.Thread(target=serve, args=(worker_end,), daemon=True)
         thread.start()
         coordinator_end.send(("task", 5, (0, 1)))
-        kind, task_id, text = coordinator_end.recv(timeout=10.0)
+        kind, task_id, info = coordinator_end.recv(timeout=10.0)
         assert kind == "error" and task_id == 5
-        assert "context" in text
+        # Structured error frame: bounded message + traceback, stamped
+        # with the reporting worker's identity and the offending task.
+        assert "context" in info["error"]
+        assert info["worker"]
+        assert info["task"] == 5
         coordinator_end.send(("shutdown",))
         thread.join(timeout=10.0)

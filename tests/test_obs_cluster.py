@@ -1,0 +1,358 @@
+"""Cluster-wide observability: trace propagation, worker metrics, federation.
+
+Three promises are under test, each across both transports where it
+matters:
+
+* **Distributed traces** — a submission running while a
+  :class:`~repro.obs.spans.Span` is ambient ships its wire context to the
+  workers and gets back one child span per task, stitched into the
+  requesting span's tree with disjoint worker-side segments
+  (deserialize/compute/serialize/send) that sum to the worker's wall time,
+  plus a coordinator-measured dispatch→result gap that bounds it.
+* **Federated metrics** — ``pull_metrics`` snapshots every live worker's
+  registry over the fabric without blocking a running fold, dead workers
+  degrade gracefully, and :func:`~repro.obs.federate.render_federated`
+  exposes each remote series under a ``worker="<id>"`` label.
+* **The kill-switch** — with the registry disabled the wire protocol is
+  byte-identical to an untraced run (3-tuple task frames, zero pull
+  frames) and results stay bit-identical to the serial reference.
+
+Cross-process timing note: the worker stamps its wall *after* its result
+send returns, while the coordinator stamps receipt the moment the bytes
+land, so under scheduler jitter the gap can undercut the wall by a few
+milliseconds — assertions use ``_CLOCK_SLACK`` rather than a strict ≥.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import time
+import urllib.request
+
+import pytest
+
+from tests.test_cluster import make_workload
+from tests.test_engine import assert_evidence_identical
+from tests.test_obs_serve import random_rows
+from repro.cluster import (
+    ClusterError,
+    LocalCluster,
+    TileFoldContext,
+    merge_partials_tree,
+    shard_tasks,
+)
+from repro.cluster.worker import (
+    MAX_TRACEBACK_CHARS,
+    _bounded_traceback,
+    _error_info,
+    default_worker_id,
+)
+from repro.obs import Span, merge_snapshots, render_federated
+from repro.obs import spans as obs_spans
+from repro.obs.federate import prune_idle
+from repro.obs.registry import get_registry
+from repro.serve import ServeClient, ServerThread
+
+#: Allowed worker-wall overshoot of the dispatch→result gap (see module
+#: docstring) — pure cross-process clock-stamp jitter, not queueing.
+_CLOCK_SLACK = 0.02
+
+_SEGMENTS = ("deserialize", "compute", "serialize", "send")
+
+
+def fold_traced(cluster, *, n_rows=24, tile_rows=3, seed=5, delay=0.02):
+    """Run one traced cluster fold; returns (span, evidence, reference, n_tasks).
+
+    ``delay`` pads each task's compute so wall times dominate the
+    microsecond-scale serialize/send segments and the timing assertions
+    are stable under CI jitter.
+    """
+    relation, space, kernel, tiles, reference = make_workload(
+        n_rows=n_rows, tile_rows=tile_rows, seed=seed
+    )
+    tasks, weights = shard_tasks(tiles, 4)
+    context = TileFoldContext(kernel, tiles, delay_per_task=delay)
+    span = Span("fold", op="fold")
+    with obs_spans.use(span):
+        results = cluster.submit(context, tasks, weights)
+    evidence = merge_partials_tree(results).finalize(space)
+    assert_evidence_identical(evidence, reference)
+    return span, evidence, reference, len(tasks)
+
+
+def assert_child_invariants(child: dict, n_tiles: int) -> None:
+    """Every stitched worker child satisfies the cross-wire span contract."""
+    assert child["op"] == "cluster_task"
+    assert child["worker"]
+    assert isinstance(child["task"], list) and len(child["task"]) == 2
+    for name in _SEGMENTS:
+        assert child["segments"][name] >= 0.0
+    wall = child["wall_seconds"]
+    total = sum(child["segments"].values())
+    assert total == pytest.approx(wall, rel=0.10, abs=1e-4)
+    assert child["dispatch_gap_seconds"] >= wall - _CLOCK_SLACK
+    assert child["queue_network_seconds"] >= 0.0
+    assert child["result_bytes"] > 0
+    assert 0 < child["tiles"] <= n_tiles
+    assert child["pairs"] > 0
+
+
+class TestTracePropagation:
+    @pytest.mark.parametrize("transport", ["local", "socket"])
+    def test_one_child_per_task_with_disjoint_segments(self, transport):
+        with LocalCluster(2, transport=transport) as cluster:
+            span, _, _, n_tasks = fold_traced(cluster)
+        payload = span.jsonable()
+        children = payload["children"]
+        assert len(children) == n_tasks
+        # Every task key appears exactly once (re-issues can't duplicate).
+        assert len({tuple(c["task"]) for c in children}) == n_tasks
+        relation, _, _, tiles, _ = make_workload(n_rows=24, seed=5)
+        for child in children:
+            assert_child_invariants(child, n_tiles=len(tiles))
+        if transport == "socket":
+            # Both subprocess workers actually contributed.
+            assert len({c["worker"] for c in children}) == 2
+
+    def test_untraced_submission_ships_no_children(self):
+        with LocalCluster(2, transport="local") as cluster:
+            relation, space, kernel, tiles, reference = make_workload()
+            tasks, weights = shard_tasks(tiles, 4)
+            results = cluster.submit(TileFoldContext(kernel, tiles), tasks, weights)
+            assert_evidence_identical(
+                merge_partials_tree(results).finalize(space), reference
+            )
+
+    def test_local_threads_get_distinct_worker_ids(self):
+        with LocalCluster(2, transport="local") as cluster:
+            span, _, _, _ = fold_traced(cluster)
+        workers = {c["worker"] for c in span.children}
+        # host:pid would collide across in-process threads; the :w<slot>
+        # suffix keeps federation labels (and span attribution) distinct.
+        assert all(":w" in w for w in workers)
+        assert len(workers) == 2
+
+
+class TestWorkerMetrics:
+    def test_local_worker_metrics_fire_in_shared_registry(self):
+        from repro.obs import metrics as obs_metrics
+
+        ok_tasks = obs_metrics.WORKER_TASKS.labels("TileFoldContext", "ok")
+        before = ok_tasks.value
+        installs = obs_metrics.WORKER_CONTEXT_INSTALLS.value
+        with LocalCluster(2, transport="local") as cluster:
+            _, _, _, n_tasks = fold_traced(cluster, delay=0.0)
+        assert ok_tasks.value - before == n_tasks
+        assert obs_metrics.WORKER_CONTEXT_INSTALLS.value - installs >= 2
+
+
+class TestMetricsFederation:
+    def test_pull_merges_worker_labeled_series(self):
+        with LocalCluster(2, transport="socket") as cluster:
+            fold_traced(cluster, delay=0.0)
+            snapshots = cluster.coordinator.pull_metrics()
+            assert len(snapshots) == 2
+            for snapshot in snapshots:
+                assert snapshot["worker"]
+                assert snapshot["enabled"] is True
+                assert snapshot["age_seconds"] >= 0.0
+                assert snapshot["tasks_completed"] >= 1
+                assert "repro_worker_tasks_total" in snapshot["families"]
+            merged = merge_snapshots(snapshots)
+            tasks_family = merged["repro_worker_tasks_total"]
+            workers = {s["labels"]["worker"] for s in tasks_family["samples"]}
+            assert workers == {s["worker"] for s in snapshots}
+            text = render_federated(get_registry(), snapshots)
+            for snapshot in snapshots:
+                assert (
+                    f'repro_worker_tasks_total{{kind="TileFoldContext",'
+                    f'outcome="ok",worker="{snapshot["worker"]}"}}' in text
+                )
+            # One HELP/TYPE header per family even with two workers merged.
+            assert text.count("# TYPE repro_worker_tasks_total counter") == 1
+
+    def test_dead_worker_pull_degrades_gracefully(self):
+        with LocalCluster(2, transport="socket") as cluster:
+            fold_traced(cluster, delay=0.0)
+            assert len(cluster.coordinator.pull_metrics()) == 2
+            victim = cluster.processes[0]
+            victim.terminate()
+            victim.wait(timeout=10.0)
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                snapshots = cluster.coordinator.pull_metrics()
+                if len(snapshots) == 1:
+                    break
+                time.sleep(0.1)
+            assert len(snapshots) == 1
+            stats = cluster.coordinator.worker_stats()
+            assert sum(1 for s in stats if s["alive"]) == 1
+
+    def test_prune_idle_drops_zero_series(self):
+        families = {
+            "repro_x_total": {
+                "type": "counter",
+                "help": "x",
+                "samples": [
+                    {"labels": {"k": "a"}, "value": 0.0},
+                    {"labels": {"k": "b"}, "value": 3.0},
+                ],
+            },
+        }
+        pruned = prune_idle(families)
+        assert [s["labels"]["k"] for s in pruned["repro_x_total"]["samples"]] == ["b"]
+
+
+class TestKillSwitchParity:
+    @pytest.fixture()
+    def obs_off(self, monkeypatch):
+        """Disable the in-process registry AND subprocess workers' env."""
+        monkeypatch.setenv("REPRO_OBS", "0")
+        registry = get_registry()
+        saved = registry.enabled
+        registry.enabled = False
+        try:
+            yield registry
+        finally:
+            registry.enabled = saved
+
+    def test_disabled_obs_is_byte_and_bit_identical(self, obs_off):
+        relation, space, kernel, tiles, reference = make_workload()
+        tasks, weights = shard_tasks(tiles, 4)
+
+        def run(with_span: bool):
+            with LocalCluster(2, transport="local") as cluster:
+                span = Span("fold", op="fold") if with_span else None
+                with obs_spans.use(span):
+                    results = cluster.submit(
+                        TileFoldContext(kernel, tiles), tasks, weights
+                    )
+                stats = cluster.coordinator.worker_stats()
+                sent = sum(s["bytes_sent"] for s in stats)
+                pulls = cluster.coordinator.pull_metrics()
+            evidence = merge_partials_tree(results).finalize(space)
+            return span, evidence, sent, pulls
+
+        span, traced_evidence, traced_bytes, pulls = run(with_span=True)
+        assert span.children == []  # no trace context ever left the process
+        assert pulls == []  # pull is a no-op: zero frames on the wire
+        _, plain_evidence, plain_bytes, _ = run(with_span=False)
+        # Same coordinator→worker byte count: the task frames carried no
+        # fourth trace-context element even though a span was ambient.
+        assert traced_bytes == plain_bytes
+        assert_evidence_identical(traced_evidence, reference)
+        assert_evidence_identical(plain_evidence, reference)
+
+
+class HugeErrorContext:
+    """Module-level (so it pickles by reference) always-failing context."""
+
+    def run(self, task):
+        raise ValueError("boom " + "x" * 100_000)
+
+
+class TestBoundedErrors:
+    def test_bounded_traceback_elides_middle(self):
+        try:
+            raise ValueError("tail " + "y" * (3 * MAX_TRACEBACK_CHARS))
+        except ValueError:
+            text = _bounded_traceback()
+        assert len(text) <= MAX_TRACEBACK_CHARS + 64
+        assert "chars truncated" in text
+
+    def test_error_info_is_structured_and_capped(self):
+        info = _error_info("w1", ("s", 3), ValueError("z" * 10_000))
+        assert info["worker"] == "w1"
+        assert info["task"] == ["s", 3]
+        assert len(info["error"]) <= 600
+        assert isinstance(info["traceback"], str)
+
+    def test_worker_failure_raises_bounded_cluster_error(self):
+        # Local transport only: the context class lives in this test module,
+        # which worker *subprocesses* can't import — but LocalTransport still
+        # round-trips every frame through pickle, so the bounded error
+        # frame's wire shape is what's exercised either way.
+        with LocalCluster(2, transport="local") as cluster:
+            with pytest.raises(ClusterError) as excinfo:
+                cluster.submit(HugeErrorContext(), [(0, 1)])
+        message = str(excinfo.value)
+        assert "task failed on worker" in message
+        assert "ValueError" in message
+        # The 100k-char exception payload arrived middle-elided.
+        assert len(message) <= MAX_TRACEBACK_CHARS + 1024
+        assert "chars truncated" in message
+
+
+class TestServeOverCluster:
+    """The full stack: traced serve appends over real socket workers."""
+
+    def test_traced_append_and_federated_exposure(self, tmp_path):
+        with LocalCluster(2, transport="socket") as cluster:
+            thread = ServerThread(
+                data_dir=tmp_path, cluster=cluster, metrics_port=0
+            )
+            with thread as (host, port):
+                with ServeClient(host, port, timeout=120.0) as client:
+                    client.create_store("tenant", random_rows(150, seed=1))
+                    result = client.append(
+                        "tenant", random_rows(150, seed=2), trace=True
+                    )
+                    trace = result["trace"]
+                    children = trace["children"]
+                    assert children  # ≥1 worker child per dispatched task
+                    assert len({tuple(c["task"]) for c in children}) == len(children)
+                    for child in children:
+                        wall = child["wall_seconds"]
+                        total = sum(child["segments"].values())
+                        assert total == pytest.approx(wall, rel=0.10, abs=1e-4)
+                        assert (
+                            child["dispatch_gap_seconds"] >= wall - _CLOCK_SLACK
+                        )
+                    assert "cluster_submit" in trace["detail"]
+
+                    # Wire op: federated text exposition + per-worker list.
+                    metrics = client.metrics(format="text")
+                    workers = metrics["workers"]
+                    assert len(workers) == 2
+                    for snapshot in workers:
+                        assert (
+                            f'worker="{snapshot["worker"]}"' in metrics["text"]
+                        )
+                    assert "repro_worker_tasks_total" in metrics["text"]
+
+                    # Stats: per-worker health via the coordinator.
+                    stats = client.stats()
+                    cluster_stats = stats["cluster"]
+                    assert cluster_stats["alive_workers"] == 2
+                    assert len(cluster_stats["workers"]) == 2
+                    for entry in cluster_stats["workers"]:
+                        assert entry["alive"] is True
+                        assert entry["bytes_sent"] > 0
+
+                    # HTTP scrape federates too, and /healthz answers.
+                    address = thread.metrics_address
+                    base = f"http://{address[0]}:{address[1]}"
+                    with urllib.request.urlopen(
+                        f"{base}/metrics", timeout=10.0
+                    ) as response:
+                        body = response.read().decode("utf-8")
+                    worker_ids = {s["worker"] for s in workers}
+                    for worker_id in worker_ids:
+                        assert re.search(
+                            r"repro_worker_tasks_total\{[^}]*"
+                            + re.escape(f'worker="{worker_id}"'),
+                            body,
+                        )
+                    with urllib.request.urlopen(
+                        f"{base}/healthz", timeout=10.0
+                    ) as response:
+                        assert response.status == 200
+                        assert response.headers["Content-Type"].startswith(
+                            "application/json"
+                        )
+                        health = json.loads(response.read().decode("utf-8"))
+                    assert health["status"] == "ok"
+                    assert health["stores"] == 1
+                    assert health["recovery_failures"] == 0
+                    assert health["uptime_seconds"] >= 0.0

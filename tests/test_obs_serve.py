@@ -237,6 +237,31 @@ class TestPrometheusEndpoint:
         finally:
             thread.stop()
 
+    def test_healthz_reports_liveness_json(self, tmp_path):
+        import json
+
+        thread = ServerThread(data_dir=tmp_path, metrics_port=0)
+        try:
+            host, port = thread.address
+            with ServeClient(host, port) as client:
+                client.create_store("hz1", random_rows(20, seed=9))
+            address = thread.metrics_address
+            with urllib.request.urlopen(
+                f"http://{address[0]}:{address[1]}/healthz", timeout=10.0
+            ) as response:
+                assert response.status == 200
+                assert response.headers["Content-Type"].startswith(
+                    "application/json"
+                )
+                health = json.loads(response.read().decode("utf-8"))
+            assert health["status"] == "ok"
+            assert health["stores"] == 1
+            assert health["recovery_failures"] == 0
+            assert health["uptime_seconds"] >= 0.0
+            assert health["requests_served"] >= 1
+        finally:
+            thread.stop()
+
 
 class TestTraceSpans:
     def test_traced_append_segments_sum_to_wall_latency(self, tmp_path):
